@@ -1,0 +1,166 @@
+// Command beaconsim runs one SCION beaconing simulation — core or
+// intra-ISD, baseline or path-diversity algorithm — and reports the
+// control-plane overhead and the quality of the disseminated paths.
+//
+// Usage:
+//
+//	beaconsim -topo demo -mode core -algo diversity
+//	beaconsim -topo scionlab -algo baseline -store 5 -duration 6h
+//	beaconsim -topo gen -n 600 -core 100 -algo diversity -store 60
+//	beaconsim -topo gen -n 600 -isdcores 5 -mode intra -algo baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/beacon"
+	"scionmpr/internal/core"
+	"scionmpr/internal/graphalg"
+	"scionmpr/internal/metrics"
+	"scionmpr/internal/topology"
+)
+
+func main() {
+	var (
+		topoKind = flag.String("topo", "demo", "topology: demo | scionlab | gen")
+		n        = flag.Int("n", 600, "ASes for -topo gen")
+		tier1    = flag.Int("tier1", 10, "tier-1 clique size for -topo gen")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		coreN    = flag.Int("core", 100, "core network size for -topo gen -mode core")
+		isdCores = flag.Int("isdcores", 5, "ISD core count for -mode intra")
+		mode     = flag.String("mode", "core", "beaconing mode: core | intra")
+		algo     = flag.String("algo", "diversity", "selection algorithm: baseline | diversity")
+		store    = flag.Int("store", 60, "PCB storage limit per origin (0 = unlimited)")
+		dissem   = flag.Int("dissem", 5, "PCB dissemination limit")
+		duration = flag.Duration("duration", 6*time.Hour, "simulated beaconing duration")
+		interval = flag.Duration("interval", 10*time.Minute, "beaconing interval")
+		lifetime = flag.Duration("lifetime", 6*time.Hour, "PCB lifetime")
+		verify   = flag.Bool("verify", false, "cryptographically verify every received PCB")
+		pairs    = flag.Int("pairs", 40, "AS pairs sampled for path quality")
+	)
+	flag.Parse()
+
+	topo, err := buildTopo(*topoKind, *mode, *n, *tier1, *seed, *coreN, *isdCores)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("topology:", topo.ComputeStats())
+
+	var factory core.Factory
+	switch *algo {
+	case "baseline":
+		factory = core.NewBaseline(*dissem)
+	case "diversity":
+		factory = core.NewDiversity(core.DefaultParams(*dissem))
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	bMode := beacon.CoreMode
+	if *mode == "intra" {
+		bMode = beacon.IntraMode
+	}
+
+	cfg := beacon.DefaultRunConfig(topo, bMode, factory, *store)
+	cfg.Duration = *duration
+	cfg.Interval = *interval
+	cfg.Lifetime = *lifetime
+	cfg.Verify = *verify
+
+	start := time.Now()
+	res, err := beacon.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated %v of %s beaconing (%s) in %v wall time\n",
+		*duration, bMode, *algo, time.Since(start).Round(time.Millisecond))
+
+	var orig, prop, recv uint64
+	for _, srv := range res.Servers {
+		orig += srv.Originated
+		prop += srv.Propagated
+		recv += srv.Received
+	}
+	fmt.Printf("PCBs: originated=%d propagated=%d received=%d\n", orig, prop, recv)
+	fmt.Printf("total control-plane bytes: %d\n", res.TotalOverheadBytes())
+
+	bw := res.PerInterfaceBandwidth()
+	metrics.FprintCDFs(os.Stdout, "per-interface beaconing bandwidth (bytes/s)",
+		[]metrics.Series{{Name: *algo, CDF: metrics.NewCDF(bw)}})
+	metrics.FprintHistogram(os.Stdout, "bandwidth histogram (bytes/s)", bw, 8)
+
+	if bMode == beacon.CoreMode {
+		var quality, optimum []float64
+		for _, pr := range graphalg.SamplePairs(topo, *pairs) {
+			quality = append(quality, float64(res.Quality(pr[0], pr[1])))
+			optimum = append(optimum, float64(graphalg.OptimalFlow(topo, pr[0], pr[1])))
+		}
+		metrics.FprintCDFs(os.Stdout, "path quality (min failing links = capacity, per sampled pair)",
+			[]metrics.Series{
+				{Name: *algo, CDF: metrics.NewCDF(quality)},
+				{Name: "optimum", CDF: metrics.NewCDF(optimum)},
+			})
+	} else {
+		// Intra-ISD: report reachability from each core AS.
+		cores := topo.CoreIAs()
+		total, reached := 0, 0
+		for _, ia := range topo.IAs() {
+			if topo.AS(ia).Core {
+				continue
+			}
+			total++
+			for _, c := range cores {
+				if len(res.PathSet(c, ia)) > 0 {
+					reached++
+					break
+				}
+			}
+		}
+		fmt.Printf("non-core ASes with at least one up-segment: %d/%d\n", reached, total)
+	}
+}
+
+func buildTopo(kind, mode string, n, tier1 int, seed int64, coreN, isdCores int) (*topology.Graph, error) {
+	var full *topology.Graph
+	switch kind {
+	case "demo":
+		full = topology.Demo()
+	case "scionlab":
+		full = topology.SCIONLab()
+	case "gen":
+		p := topology.DefaultGenParams()
+		p.NumASes = n
+		p.Tier1 = tier1
+		p.Seed = seed
+		g, err := topology.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		full = g
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+	if mode == "intra" {
+		if kind == "gen" {
+			return topology.BuildISD(full, isdCores)
+		}
+		return full, nil
+	}
+	// Core mode: restrict to the core ASes.
+	if kind == "gen" {
+		return topology.ExtractCore(full, coreN)
+	}
+	keep := map[addr.IA]bool{}
+	for _, ia := range full.CoreIAs() {
+		keep[ia] = true
+	}
+	return full.Subgraph(keep), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "beaconsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the per-experiment index):
+//
+//	table1      Table 1   control-plane component scope & frequency
+//	fig5        Figure 5  overhead relative to BGP (BGPsec, SCION core
+//	                      baseline/diversity, SCION intra-ISD)
+//	fig6        Figure 6a/6b  failure resilience & capacity vs optimum
+//	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
+//	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
+//	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
+//	gridsearch  §4.2 parameter search methodology
+//	all         everything above
+//
+// Usage:
+//
+//	experiments -exp all -scale default
+//	experiments -exp fig5 -scale paper     # hours of compute
+//	experiments -exp fig6 -scale smoke
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scionmpr/internal/core"
+	"scionmpr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | scionlab | convergence | ablation | gridsearch | all")
+		scaleStr = flag.String("scale", "default", "scale preset: smoke | default | paper")
+		duration = flag.Duration("duration", 0, "override beaconing duration")
+		pairs    = flag.Int("pairs", 0, "override sampled AS pairs")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "smoke":
+		scale = experiments.SmokeScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleStr))
+	}
+	if *duration > 0 {
+		scale.Duration = *duration
+	}
+	if *pairs > 0 {
+		scale.Pairs = *pairs
+	}
+
+	runOne := func(name string, f func() error) {
+		fmt.Printf("\n########## %s ##########\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("[%s finished in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		runOne("table1", func() error {
+			res, err := experiments.RunTable1()
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig5") {
+		runOne("fig5", func() error {
+			res, err := experiments.RunFig5(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig6") || want("fig6a") || want("fig6b") {
+		runOne("fig6", func() error {
+			res, err := experiments.RunFig6(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("scionlab") || want("fig7") || want("fig8") || want("fig9") {
+		runOne("scionlab", func() error {
+			res, err := experiments.RunSCIONLab()
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("convergence") {
+		runOne("convergence", func() error {
+			res, err := experiments.RunConvergence(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("ablation") {
+		runOne("ablation", func() error {
+			res, err := experiments.RunAblation(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("gridsearch") {
+		runOne("gridsearch", func() error {
+			// A trimmed grid at the given scale; the full exponential
+			// grid is practical at smoke scale only.
+			gs := experiments.SmokeScale()
+			gs.Duration = 2 * time.Hour
+			gs.CoreSize = 12
+			space := core.SearchSpace{
+				Alphas:     []float64{2, 6, 16},
+				Betas:      []float64{2, 4},
+				Gammas:     []float64{2, 4},
+				Thresholds: []float64{0.02, 0.05, 0.2},
+			}
+			res, err := experiments.RunGridSearch(gs, space, 0.3)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command topogen generates and inspects the AS-level topologies used by
+// the simulations: synthetic Internet graphs matching the CAIDA
+// AS-rel-geo statistics, extracted core networks, large intra-ISD
+// hierarchies, the SCIONLab testbed core, and the Figure 1 demo network.
+//
+// Usage:
+//
+//	topogen -kind gen -n 12000 -tier1 15 -seed 1 -o topo.txt
+//	topogen -kind gen -n 12000 -core 2000 -isds 200 -stats
+//	topogen -kind scionlab -stats
+//	topogen -kind demo -o demo.txt
+//	topogen -parse as-rel.txt -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scionmpr/internal/topology"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "gen", "topology kind: gen | scionlab | demo")
+		n     = flag.Int("n", 12000, "number of ASes (gen)")
+		tier1 = flag.Int("tier1", 15, "tier-1 clique size (gen)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		core  = flag.Int("core", 0, "extract the N highest-degree ASes as a core network")
+		isds  = flag.Int("isds", 0, "assign the extracted core to this many ISDs")
+		isd   = flag.Int("isd", 0, "build an intra-ISD topology with this many core ASes")
+		parse = flag.String("parse", "", "parse a CAIDA serial-2 file instead of generating")
+		out   = flag.String("o", "", "write the topology in CAIDA serial-2 format to this file")
+		stats = flag.Bool("stats", true, "print topology statistics")
+	)
+	flag.Parse()
+
+	topo, err := buildTopo(*kind, *parse, *n, *tier1, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Println("full topology:", topo.ComputeStats())
+	}
+	if *core > 0 {
+		coreTopo, err := topology.ExtractCore(topo, *core)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		if *isds > 0 {
+			relabeled, _, err := topology.AssignISDs(coreTopo, *isds)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topogen:", err)
+				os.Exit(1)
+			}
+			coreTopo = relabeled
+		}
+		topo = coreTopo
+		if *stats {
+			fmt.Println("core network:  ", topo.ComputeStats())
+		}
+	}
+	if *isd > 0 {
+		isdTopo, err := topology.BuildISD(topo, *isd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		topo = isdTopo
+		if *stats {
+			fmt.Println("intra-ISD:     ", topo.ComputeStats())
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := topology.WriteCAIDA(f, topo); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func buildTopo(kind, parse string, n, tier1 int, seed int64) (*topology.Graph, error) {
+	if parse != "" {
+		f, err := os.Open(parse)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ParseCAIDA(f, 1)
+	}
+	switch kind {
+	case "gen":
+		p := topology.DefaultGenParams()
+		p.NumASes = n
+		p.Tier1 = tier1
+		p.Seed = seed
+		return topology.Generate(p)
+	case "scionlab":
+		return topology.SCIONLab(), nil
+	case "demo":
+		return topology.Demo(), nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}

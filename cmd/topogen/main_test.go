@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildTopoKinds(t *testing.T) {
+	g, err := buildTopo("gen", "", 80, 5, 1)
+	if err != nil || g.NumASes() != 80 {
+		t.Fatalf("gen: %v (ASes %d)", err, g.NumASes())
+	}
+	if g, err = buildTopo("scionlab", "", 0, 0, 0); err != nil || g.NumASes() != 63 {
+		t.Fatalf("scionlab: %v", err)
+	}
+	if g, err = buildTopo("demo", "", 0, 0, 0); err != nil || g.NumASes() != 16 {
+		t.Fatalf("demo: %v", err)
+	}
+	if _, err = buildTopo("nope", "", 0, 0, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuildTopoParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rel.txt")
+	if err := os.WriteFile(path, []byte("1|2|-1\n2|3|-1\n1|3|0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := buildTopo("gen", path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumASes() != 3 || len(g.Links) != 3 {
+		t.Errorf("parsed ASes=%d links=%d", g.NumASes(), len(g.Links))
+	}
+	if _, err := buildTopo("gen", filepath.Join(dir, "missing.txt"), 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

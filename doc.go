@@ -1,0 +1,13 @@
+// Package scionmpr is a from-scratch Go reproduction of "Deployment and
+// Scalability of an Inter-Domain Multi-Path Routing Infrastructure"
+// (CoNEXT 2021): the SCION control plane (beaconing, path servers, PKI),
+// data plane (packet-carried forwarding state, SCMP, SIG), the paper's
+// path-diversity-based path construction algorithm, and the BGP/BGPsec
+// baselines, together with the simulators and experiment drivers that
+// regenerate every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for reproduction results.
+// The benchmarks in bench_test.go regenerate each experiment's numbers;
+// the runnable entry points live under cmd/ and examples/.
+package scionmpr

@@ -1,0 +1,3 @@
+module scionmpr
+
+go 1.22

@@ -1,0 +1,217 @@
+package beacon
+
+import (
+	"fmt"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/core"
+	"scionmpr/internal/graphalg"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+	"scionmpr/internal/trust"
+)
+
+// RunConfig describes one beaconing simulation, defaulting to the paper's
+// setup (§5.1): six hours of beaconing, ten-minute intervals, six-hour PCB
+// lifetime, dissemination limit 5, and a configurable PCB storage limit.
+type RunConfig struct {
+	Topo     *topology.Graph
+	Mode     Mode
+	Selector core.Factory
+	// StoreLimit is the per-origin PCB storage limit (<= 0: unlimited).
+	StoreLimit int
+	Interval   time.Duration
+	Lifetime   time.Duration
+	Duration   time.Duration
+	LinkDelay  time.Duration
+	// Verify enables cryptographic verification of every received PCB.
+	Verify bool
+	// Infra supplies key material; a Sized-mode Infra is built if nil.
+	Infra *trust.Infra
+	// Policies are per-AS beaconing policies (nil entries allow all).
+	Policies map[addr.IA]*Policy
+	// Failures injects link failures at the given virtual times: the
+	// link stops carrying beacons and every beacon server revokes
+	// affected state.
+	Failures []LinkFailure
+}
+
+// LinkFailure schedules one link failure during a run.
+type LinkFailure struct {
+	After time.Duration
+	Link  *topology.Link
+}
+
+// DefaultRunConfig returns the paper's simulation parameters with the
+// given topology and selector.
+func DefaultRunConfig(topo *topology.Graph, mode Mode, selector core.Factory, storeLimit int) RunConfig {
+	return RunConfig{
+		Topo:       topo,
+		Mode:       mode,
+		Selector:   selector,
+		StoreLimit: storeLimit,
+		Interval:   10 * time.Minute,
+		Lifetime:   6 * time.Hour,
+		Duration:   6 * time.Hour,
+		LinkDelay:  20 * time.Millisecond,
+	}
+}
+
+// Run executes a beaconing simulation and returns the final state.
+type RunResult struct {
+	Cfg     RunConfig
+	Sim     *sim.Simulator
+	Net     *sim.Network
+	Servers map[addr.IA]*Server
+	// End is the final virtual time.
+	End sim.Time
+}
+
+// Run builds the beacon servers, schedules interval ticks for the whole
+// duration, and drains the event queue.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Topo == nil || cfg.Selector == nil {
+		return nil, fmt.Errorf("beacon: run config missing topology or selector")
+	}
+	if cfg.Interval <= 0 || cfg.Lifetime <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("beacon: run config has non-positive timing")
+	}
+	infra := cfg.Infra
+	if infra == nil {
+		var err error
+		infra, err = trust.NewInfra(cfg.Topo, trust.Sized)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, cfg.Topo, cfg.LinkDelay)
+	servers := map[addr.IA]*Server{}
+	var verifier trust.Verifier
+	if cfg.Verify {
+		verifier = infra
+	}
+	for _, ia := range cfg.Topo.IAs() {
+		srv, err := NewServer(ServerConfig{
+			Local:       ia,
+			Topo:        cfg.Topo,
+			Net:         net,
+			Signer:      infra.SignerFor(ia),
+			Verifier:    verifier,
+			Selector:    cfg.Selector(ia),
+			StoreLimit:  cfg.StoreLimit,
+			Mode:        cfg.Mode,
+			PCBLifetime: cfg.Lifetime,
+			Policy:      cfg.Policies[ia],
+		})
+		if err != nil {
+			return nil, err
+		}
+		servers[ia] = srv
+	}
+	end := sim.Time(cfg.Duration)
+	for _, ia := range cfg.Topo.IAs() {
+		srv := servers[ia]
+		s.Every(0, cfg.Interval, end, srv.Tick)
+	}
+	for _, f := range cfg.Failures {
+		f := f
+		s.Schedule(f.After, func() {
+			net.FailLink(f.Link.ID)
+			for _, srv := range servers {
+				srv.HandleLinkFailure(f.Link)
+			}
+		})
+	}
+	s.RunUntil(end)
+	// Drain in-flight deliveries scheduled before the end time.
+	final := s.Run()
+	if final < end {
+		final = end
+	}
+	return &RunResult{Cfg: cfg, Sim: s, Net: net, Servers: servers, End: final}, nil
+}
+
+// PathSet returns the disseminated paths from origin available at dst as
+// link sequences resolved against the topology, ready for the
+// resilience/capacity metrics. Unresolvable links (should not happen on a
+// consistent topology) are skipped along with their path.
+func (r *RunResult) PathSet(origin, dst addr.IA) [][]graphalg.PathLink {
+	srv := r.Servers[dst]
+	if srv == nil || origin == dst {
+		return nil
+	}
+	var out [][]graphalg.PathLink
+	for _, links := range srv.Segments(r.End, origin) {
+		pl := make([]graphalg.PathLink, 0, len(links))
+		ok := true
+		for _, lk := range links {
+			l := r.Cfg.Topo.LinkByIf(lk.IA, lk.If)
+			if l == nil {
+				ok = false
+				break
+			}
+			pl = append(pl, graphalg.PathLink{A: l.A, B: l.B, ID: l.ID})
+		}
+		if ok && len(pl) > 0 {
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+// Quality computes the Figure 6a/6b metric for one AS pair: the max-flow
+// over the union of disseminated paths from src to dst.
+func (r *RunResult) Quality(src, dst addr.IA) int {
+	return graphalg.UnionFlow(r.PathSet(src, dst), src, dst)
+}
+
+// TotalOverheadBytes is the total control-plane bytes transmitted.
+func (r *RunResult) TotalOverheadBytes() uint64 { return r.Net.GrandTotalTx() }
+
+// MonitorRxBytes returns received control-plane bytes at the given
+// "monitor" ASes, the Figure 5 observable.
+func (r *RunResult) MonitorRxBytes(monitors []addr.IA) []uint64 {
+	out := make([]uint64, len(monitors))
+	for i, ia := range monitors {
+		out[i] = r.Net.TotalRx(ia)
+	}
+	return out
+}
+
+// RevokeLink removes beacons traversing the failed link from every
+// beacon server's store and returns the total number of beacons dropped.
+// Combined with pathdb revocation and data-plane SCMP, this completes the
+// paper's link-failure reaction (§4.1).
+func (r *RunResult) RevokeLink(link *topology.Link) int {
+	// Beacons key a link by its upstream side, which is either endpoint
+	// depending on the direction the beacon traveled; revoke both.
+	keys := []seg.LinkKey{
+		{IA: link.A, If: link.AIf},
+		{IA: link.B, If: link.BIf},
+	}
+	dropped := 0
+	for _, srv := range r.Servers {
+		for _, key := range keys {
+			dropped += srv.Store().RevokeLink(key)
+		}
+	}
+	return dropped
+}
+
+// PerInterfaceBandwidth returns the average transmitted bytes/second per
+// traffic-bearing interface over the run (Figure 9).
+func (r *RunResult) PerInterfaceBandwidth() []float64 {
+	secs := time.Duration(r.End).Seconds()
+	if secs <= 0 {
+		return nil
+	}
+	bytes := r.Net.PerInterfaceTxBytes()
+	out := make([]float64, len(bytes))
+	for i, b := range bytes {
+		out[i] = float64(b) / secs
+	}
+	return out
+}

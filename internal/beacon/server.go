@@ -1,0 +1,282 @@
+package beacon
+
+import (
+	"fmt"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/core"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+	"scionmpr/internal/trust"
+)
+
+// Mode selects which beaconing level a simulation runs.
+type Mode int
+
+const (
+	// CoreMode: selective flooding among core ASes over core links.
+	CoreMode Mode = iota
+	// IntraMode: uni-directional dissemination from core ASes down
+	// provider-customer links; non-core ASes attach peer entries.
+	IntraMode
+)
+
+func (m Mode) String() string {
+	if m == CoreMode {
+		return "core"
+	}
+	return "intra-isd"
+}
+
+// PCBMsg transports a beacon between ASes.
+type PCBMsg struct {
+	PCB *seg.PCB
+}
+
+// WireLen implements sim.Message with the exact encoded beacon size.
+func (m PCBMsg) WireLen() int { return m.PCB.WireLen() }
+
+// ServerConfig configures one AS's beacon server.
+type ServerConfig struct {
+	Local       addr.IA
+	Topo        *topology.Graph
+	Net         *sim.Network
+	Signer      trust.Signer
+	Verifier    trust.Verifier // nil disables verification (large sims)
+	Selector    core.Selector
+	StoreLimit  int
+	Mode        Mode
+	PCBLifetime time.Duration
+	MTU         uint16
+	// Policy is the AS-local beaconing policy (nil allows everything).
+	Policy *Policy
+}
+
+// Server is the beacon server of one AS: it receives and stores PCBs and,
+// on every beaconing interval, originates (core ASes) and propagates
+// beacons according to its selector.
+type Server struct {
+	cfg   ServerConfig
+	store *Store
+	segID uint16
+	// Stats
+	Originated, Propagated, Received, Rejected uint64
+}
+
+// NewServer creates a beacon server and registers it as the AS's message
+// handler on the network.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Topo.AS(cfg.Local) == nil {
+		return nil, fmt.Errorf("beacon: unknown AS %s", cfg.Local)
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 1472
+	}
+	s := &Server{cfg: cfg, store: NewStore(cfg.StoreLimit)}
+	cfg.Net.Register(cfg.Local, s)
+	return s, nil
+}
+
+// Store exposes the beacon store (read-mostly; experiments extract
+// disseminated path sets from it).
+func (s *Server) Store() *Store { return s.store }
+
+// IsCore reports whether the server's AS is a core AS.
+func (s *Server) IsCore() bool { return s.cfg.Topo.AS(s.cfg.Local).Core }
+
+// HandleMessage implements sim.Handler: verify (optionally) and store.
+func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Message) {
+	pm, ok := msg.(PCBMsg)
+	if !ok {
+		return
+	}
+	s.Received++
+	now := s.cfg.Net.Sim.Now()
+	if s.cfg.Verifier != nil {
+		if err := pm.PCB.Verify(s.cfg.Verifier); err != nil {
+			s.Rejected++
+			return
+		}
+	}
+	if pm.PCB.ContainsAS(s.cfg.Local) {
+		s.Rejected++ // loop
+		return
+	}
+	if !s.cfg.Policy.AcceptsReceive(pm.PCB) {
+		s.Rejected++ // policy
+		return
+	}
+	if !s.store.Insert(now, pm.PCB, link.LocalIf(s.cfg.Local)) {
+		s.Rejected++
+	}
+}
+
+// Tick runs one beaconing interval: origination (core ASes) followed by
+// propagation of stored beacons.
+func (s *Server) Tick(now sim.Time) {
+	if s.IsCore() {
+		s.originate(now)
+	}
+	s.propagate(now)
+}
+
+// egressLinks returns, per downstream neighbor, the links beaconing may
+// use in the configured mode, in deterministic neighbor order.
+func (s *Server) egressLinks(now sim.Time) []neighborLinks {
+	local := s.cfg.Local
+	byNeighbor := map[addr.IA][]*topology.Link{}
+	for _, l := range s.cfg.Topo.AS(local).Links {
+		switch s.cfg.Mode {
+		case CoreMode:
+			if l.Rel != topology.Core {
+				continue
+			}
+		case IntraMode:
+			// Only provider-to-customer direction, local as provider.
+			if l.Rel != topology.ProviderOf || l.A != local {
+				continue
+			}
+		}
+		if !s.cfg.Policy.AllowsEgress(l.LocalIf(local)) {
+			continue
+		}
+		o := l.Other(local)
+		byNeighbor[o] = append(byNeighbor[o], l)
+	}
+	var out []neighborLinks
+	for _, nb := range s.cfg.Topo.Neighbors(local) {
+		if links := byNeighbor[nb]; len(links) > 0 {
+			out = append(out, neighborLinks{Neighbor: nb, Links: links})
+		}
+	}
+	return out
+}
+
+type neighborLinks struct {
+	Neighbor addr.IA
+	Links    []*topology.Link
+}
+
+// originate creates a fresh beacon per egress link, as core ASes initiate
+// PCBs every interval on every (core or customer, depending on mode)
+// interface.
+func (s *Server) originate(now sim.Time) {
+	local := s.cfg.Local
+	for _, nl := range s.egressLinks(now) {
+		for _, l := range nl.Links {
+			s.segID++
+			p := seg.NewPCB(local, s.segID, now, sim.Time(s.cfg.PCBLifetime))
+			ext, err := p.Extend(s.cfg.Signer, nl.Neighbor, 0, l.LocalIf(local), s.peerEntries(), s.cfg.MTU)
+			if err != nil {
+				continue
+			}
+			s.cfg.Net.Send(local, l, PCBMsg{PCB: ext})
+			s.Originated++
+		}
+	}
+}
+
+// propagate runs the selector per (origin, neighbor) pair over the stored
+// beacons and disseminates the chosen combinations.
+func (s *Server) propagate(now sim.Time) {
+	local := s.cfg.Local
+	neighbors := s.egressLinks(now)
+	if len(neighbors) == 0 {
+		return
+	}
+	for _, origin := range s.store.Origins() {
+		entries := s.store.Entries(now, origin)
+		if len(entries) == 0 {
+			continue
+		}
+		for _, nl := range neighbors {
+			if origin == nl.Neighbor {
+				continue // never send the origin its own beacons back
+			}
+			ifaces := make([]addr.IfID, len(nl.Links))
+			linkByIf := make(map[addr.IfID]*topology.Link, len(nl.Links))
+			for i, l := range nl.Links {
+				ifaces[i] = l.LocalIf(local)
+				linkByIf[ifaces[i]] = l
+			}
+			// Filter loops through this neighbor and keep the ingress
+			// association for extension.
+			cands := make([]*seg.PCB, 0, len(entries))
+			ingressOf := make(map[*seg.PCB]addr.IfID, len(entries))
+			for _, e := range entries {
+				if e.PCB.ContainsAS(nl.Neighbor) {
+					continue
+				}
+				cands = append(cands, e.PCB)
+				ingressOf[e.PCB] = e.Ingress
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			for _, sel := range s.cfg.Selector.Select(now, origin, nl.Neighbor, ifaces, cands) {
+				link := linkByIf[sel.Egress]
+				if link == nil {
+					continue
+				}
+				ext, err := sel.PCB.Extend(s.cfg.Signer, nl.Neighbor, ingressOf[sel.PCB], sel.Egress, s.peerEntries(), s.cfg.MTU)
+				if err != nil {
+					continue
+				}
+				s.cfg.Net.Send(local, link, PCBMsg{PCB: ext})
+				s.Propagated++
+			}
+		}
+	}
+}
+
+// peerEntries advertises the AS's peering links inside its AS entries
+// (only meaningful in intra-ISD beaconing; core beaconing carries none).
+func (s *Server) peerEntries() []seg.PeerEntry {
+	if s.cfg.Mode != IntraMode {
+		return nil
+	}
+	local := s.cfg.Local
+	var out []seg.PeerEntry
+	for _, l := range s.cfg.Topo.AS(local).Links {
+		if l.Rel != topology.PeerOf {
+			continue
+		}
+		out = append(out, seg.PeerEntry{
+			Peer:    l.Other(local),
+			PeerIf:  l.RemoteIf(local),
+			LocalIf: l.LocalIf(local),
+		})
+	}
+	return out
+}
+
+// HandleLinkFailure reacts to an inter-domain link failure: affected
+// beacons are revoked from the store and the selector's per-link state is
+// cleared so alternatives are re-disseminated (paper §4.1 path
+// revocation, applied at the beacon server).
+func (s *Server) HandleLinkFailure(l *topology.Link) int {
+	keys := []seg.LinkKey{{IA: l.A, If: l.AIf}, {IA: l.B, If: l.BIf}}
+	dropped := 0
+	for _, key := range keys {
+		dropped += s.store.RevokeLink(key)
+		if r, ok := s.cfg.Selector.(core.Revoker); ok {
+			r.Revoke(key)
+		}
+	}
+	return dropped
+}
+
+// Segments returns the disseminated path segments currently available at
+// this AS from the given origin, as link sequences resolvable against the
+// topology — the observable the Figure 6/7/8 metrics consume. The final
+// hop is the arrival link at this AS (already encoded in the sender's AS
+// entry), so the stored links describe the complete origin-to-here path.
+func (s *Server) Segments(now sim.Time, origin addr.IA) [][]seg.LinkKey {
+	var out [][]seg.LinkKey
+	for _, e := range s.store.Entries(now, origin) {
+		out = append(out, e.PCB.Links())
+	}
+	return out
+}

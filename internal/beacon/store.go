@@ -1,0 +1,206 @@
+// Package beacon implements SCION beacon servers: PCB origination,
+// reception, storage, and interval-driven propagation for both levels of
+// the routing hierarchy — selective flooding among core ASes (core
+// beaconing) and uni-directional dissemination down the provider-customer
+// hierarchy (intra-ISD beaconing), paper §2.2 and §4.1. PCB selection is
+// delegated to a core.Selector (baseline or path-diversity algorithm).
+package beacon
+
+import (
+	"sort"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// Entry is one stored beacon plus the ingress interface it arrived on
+// (needed to build the local AS entry when propagating).
+type Entry struct {
+	PCB     *seg.PCB
+	Ingress addr.IfID
+	// ReceivedAt is when the beacon server stored this instance.
+	ReceivedAt sim.Time
+}
+
+// Store holds received PCBs grouped by origin AS, bounded by the paper's
+// "PCB storage limit, the maximum number of PCBs per origin AS to store at
+// each beacon server" (§5.1). A newer instance of an already-stored path
+// (same hop sequence and ingress) replaces the old one without consuming
+// extra capacity. Limit <= 0 means unlimited (the paper's "∞" curves).
+type Store struct {
+	Limit    int
+	byOrigin map[addr.IA]map[string]*Entry
+}
+
+// NewStore creates a store with the given per-origin limit.
+func NewStore(limit int) *Store {
+	return &Store{Limit: limit, byOrigin: map[addr.IA]map[string]*Entry{}}
+}
+
+func entryKey(p *seg.PCB, ingress addr.IfID) string {
+	return p.HopsKeyVia(ingress) // hop sequence + arrival interface
+}
+
+// Insert stores a received beacon. It returns false when the beacon was
+// dropped: expired on arrival, or the per-origin budget is full of
+// entries at least as good. "Better" prefers shorter paths, then later
+// expiry, matching the baseline's path-length orientation while keeping
+// fresh instances alive for the diversity algorithm.
+func (s *Store) Insert(now sim.Time, p *seg.PCB, ingress addr.IfID) bool {
+	if p.Expired(now) {
+		return false
+	}
+	origin := p.Origin()
+	m := s.byOrigin[origin]
+	if m == nil {
+		m = map[string]*Entry{}
+		s.byOrigin[origin] = m
+	}
+	key := entryKey(p, ingress)
+	if old, ok := m[key]; ok {
+		// Same path: keep the instance with the later expiry.
+		if p.Info.Expiry > old.PCB.Info.Expiry {
+			m[key] = &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+		}
+		return true
+	}
+	if s.Limit > 0 && len(m) >= s.Limit {
+		// Evict expired entries first.
+		for k, e := range m {
+			if e.PCB.Expired(now) {
+				delete(m, k)
+			}
+		}
+	}
+	if s.Limit > 0 && len(m) >= s.Limit {
+		// Replace the worst stored entry if the new beacon beats it.
+		worstKey := ""
+		var worst *Entry
+		for k, e := range m {
+			if worst == nil || worse(e, worst) {
+				worstKey, worst = k, e
+			}
+		}
+		if worst == nil || !betterPCB(p, worst.PCB) {
+			return false
+		}
+		delete(m, worstKey)
+	}
+	m[key] = &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+	return true
+}
+
+// worse orders entries for eviction: longer paths first, then earlier
+// expiry, then key order via pointer-stable comparison on hops.
+func worse(a, b *Entry) bool {
+	if a.PCB.NumHops() != b.PCB.NumHops() {
+		return a.PCB.NumHops() > b.PCB.NumHops()
+	}
+	if a.PCB.Info.Expiry != b.PCB.Info.Expiry {
+		return a.PCB.Info.Expiry < b.PCB.Info.Expiry
+	}
+	return a.PCB.HopsKey() > b.PCB.HopsKey()
+}
+
+func betterPCB(p *seg.PCB, worst *seg.PCB) bool {
+	if p.NumHops() != worst.NumHops() {
+		return p.NumHops() < worst.NumHops()
+	}
+	return p.Info.Expiry > worst.Info.Expiry
+}
+
+// Origins lists origin ASes with stored beacons, sorted.
+func (s *Store) Origins() []addr.IA {
+	out := make([]addr.IA, 0, len(s.byOrigin))
+	for ia, m := range s.byOrigin {
+		if len(m) > 0 {
+			out = append(out, ia)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Entries returns the valid stored entries of one origin in deterministic
+// order (shortest first, then hop key).
+func (s *Store) Entries(now sim.Time, origin addr.IA) []*Entry {
+	m := s.byOrigin[origin]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Entry, 0, len(m))
+	for _, e := range m {
+		if !e.PCB.Expired(now) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PCB.NumHops() != out[j].PCB.NumHops() {
+			return out[i].PCB.NumHops() < out[j].PCB.NumHops()
+		}
+		ki, kj := out[i].PCB.HopsKey(), out[j].PCB.HopsKey()
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].Ingress < out[j].Ingress
+	})
+	return out
+}
+
+// PCBs returns just the PCBs of Entries.
+func (s *Store) PCBs(now sim.Time, origin addr.IA) []*seg.PCB {
+	entries := s.Entries(now, origin)
+	out := make([]*seg.PCB, len(entries))
+	for i, e := range entries {
+		out[i] = e.PCB
+	}
+	return out
+}
+
+// Prune removes expired beacons everywhere.
+func (s *Store) Prune(now sim.Time) {
+	for origin, m := range s.byOrigin {
+		for k, e := range m {
+			if e.PCB.Expired(now) {
+				delete(m, k)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.byOrigin, origin)
+		}
+	}
+}
+
+// RevokeLink drops every stored beacon whose path contains the given
+// link and returns the number of beacons removed — the beacon-server
+// side of the paper's path revocation (§4.1): the AS owning the failed
+// link revokes affected segments so they are neither used nor propagated
+// further.
+func (s *Store) RevokeLink(link seg.LinkKey) int {
+	dropped := 0
+	for origin, m := range s.byOrigin {
+		for k, e := range m {
+			for _, lk := range e.PCB.Links() {
+				if lk == link {
+					delete(m, k)
+					dropped++
+					break
+				}
+			}
+		}
+		if len(m) == 0 {
+			delete(s.byOrigin, origin)
+		}
+	}
+	return dropped
+}
+
+// Len returns the total number of stored beacons.
+func (s *Store) Len() int {
+	n := 0
+	for _, m := range s.byOrigin {
+		n += len(m)
+	}
+	return n
+}

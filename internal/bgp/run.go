@@ -1,0 +1,226 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/graphalg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+)
+
+// Update is one BGP UPDATE message on the wire (possibly batching several
+// NLRI, as one MRAI flush produces one message per neighbor).
+type Update struct {
+	Announce []*Route
+	Withdraw []addr.IA
+}
+
+// WireLen implements sim.Message with RFC 4271 sizing: 19-byte header,
+// withdrawn-routes and path-attribute length fields, and per announcement
+// the ORIGIN/AS_PATH(AS4)/NEXT_HOP attributes plus a 5-byte NLRI. NLRI
+// sharing attributes would aggregate; distinct origins have distinct
+// paths, so each announcement carries its own attribute set.
+func (u Update) WireLen() int {
+	n := 19 + 2 + 2
+	for _, r := range u.Announce {
+		n += AnnounceWireLen(len(r.Path))
+	}
+	n += 5 * len(u.Withdraw)
+	return n
+}
+
+// AnnounceWireLen is the attribute+NLRI cost of announcing one prefix
+// with an AS path of the given length (RFC 4271, 4-byte AS numbers):
+// ORIGIN (4) + AS_PATH header (5) + 4 bytes per hop + NEXT_HOP (7) +
+// NLRI (5).
+func AnnounceWireLen(pathLen int) int { return 4 + 5 + 4*pathLen + 7 + 5 }
+
+// Config parameterizes a BGP simulation; the defaults mirror the paper's
+// SimBGP setup (§5.1).
+type Config struct {
+	Topo *topology.Graph
+	// MRAI is the per-neighbor Minimum Route Advertisement Interval.
+	MRAI time.Duration
+	// ProcDelay is the per-update processing delay at a speaker.
+	ProcDelay time.Duration
+	// LinkDelay is the one-way propagation delay.
+	LinkDelay time.Duration
+	// MaxTime aborts a non-converging run (0: none).
+	MaxTime time.Duration
+}
+
+// DefaultConfig returns the paper's SimBGP parameters.
+func DefaultConfig(topo *topology.Graph) Config {
+	return Config{
+		Topo:      topo,
+		MRAI:      15 * time.Second,
+		ProcDelay: 5 * time.Millisecond,
+		LinkDelay: 10 * time.Millisecond,
+	}
+}
+
+// Result is a completed BGP simulation.
+type Result struct {
+	Cfg      Config
+	Sim      *sim.Simulator
+	Net      *sim.Network
+	Speakers map[addr.IA]*Speaker
+	// Converged is false if MaxTime aborted the run.
+	Converged bool
+	End       sim.Time
+}
+
+// Run originates one prefix per AS at t=0 and simulates until the event
+// queue drains (convergence; BGP has one, unlike SCION which needs none —
+// paper §5).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("bgp: nil topology")
+	}
+	if cfg.MRAI <= 0 {
+		return nil, fmt.Errorf("bgp: MRAI must be positive")
+	}
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, cfg.Topo, cfg.LinkDelay)
+	speakers := map[addr.IA]*Speaker{}
+
+	r := &Result{Cfg: cfg, Sim: s, Net: net, Speakers: speakers}
+
+	// flush sends one speaker's pending set to one neighbor and re-arms
+	// the MRAI timer while more appears.
+	var armMRAI func(sp *Speaker, nb addr.IA)
+	timerArmed := map[[2]uint64]bool{}
+	doFlush := func(sp *Speaker, nb addr.IA) {
+		announce, withdraw := sp.Flush(nb)
+		if len(announce) == 0 && len(withdraw) == 0 {
+			return
+		}
+		links := cfg.Topo.LinksBetween(sp.Local, nb)
+		if len(links) == 0 {
+			return
+		}
+		// BGP sessions run over one link regardless of parallel links.
+		net.Send(sp.Local, links[0], Update{Announce: announce, Withdraw: withdraw})
+	}
+	armMRAI = func(sp *Speaker, nb addr.IA) {
+		key := [2]uint64{sp.Local.Uint64(), nb.Uint64()}
+		if timerArmed[key] {
+			return
+		}
+		timerArmed[key] = true
+		s.Schedule(cfg.MRAI, func() {
+			timerArmed[key] = false
+			doFlush(sp, nb)
+			if sp.HasPending(nb) {
+				armMRAI(sp, nb)
+			}
+		})
+	}
+
+	for _, ia := range cfg.Topo.IAs() {
+		ia := ia
+		sp := NewSpeaker(cfg.Topo, ia)
+		speakers[ia] = sp
+		net.Register(ia, sim.HandlerFunc(func(from addr.IA, _ *topology.Link, msg sim.Message) {
+			u, ok := msg.(Update)
+			if !ok {
+				return
+			}
+			// Processing delay per update message before RIB changes and
+			// further propagation.
+			s.Schedule(cfg.ProcDelay, func() {
+				for _, p := range u.Withdraw {
+					sp.HandleWithdraw(from, p)
+				}
+				for _, rt := range u.Announce {
+					sp.HandleAnnounce(from, rt.Prefix, rt.Path)
+				}
+				for _, nb := range cfg.Topo.Neighbors(ia) {
+					if sp.HasPending(nb) {
+						armMRAI(sp, nb)
+					}
+				}
+			})
+		}))
+	}
+
+	// Origination at t=0: everyone announces its prefix; the first flush
+	// happens after one MRAI.
+	for _, ia := range cfg.Topo.IAs() {
+		sp := speakers[ia]
+		sp.Originate()
+		for _, nb := range cfg.Topo.Neighbors(ia) {
+			if sp.HasPending(nb) {
+				armMRAI(sp, nb)
+			}
+		}
+	}
+
+	if cfg.MaxTime > 0 {
+		s.RunUntil(sim.Time(cfg.MaxTime))
+		r.Converged = s.Pending() == 0
+	} else {
+		s.Run()
+		r.Converged = true
+	}
+	r.End = s.Now()
+	return r, nil
+}
+
+// WithdrawPrefix injects a withdrawal of origin's prefix (e.g. the origin
+// going offline) and re-runs to convergence, modelling churn.
+func (r *Result) WithdrawPrefix(origin addr.IA) {
+	sp := r.Speakers[origin]
+	if sp == nil {
+		return
+	}
+	delete(sp.locRib, origin)
+	sp.exportChange(origin, nil)
+	// Flush immediately (the origin's MRAI timers are idle post-convergence).
+	for _, nb := range r.Cfg.Topo.Neighbors(origin) {
+		announce, withdraw := sp.Flush(nb)
+		if len(announce) == 0 && len(withdraw) == 0 {
+			continue
+		}
+		links := r.Cfg.Topo.LinksBetween(origin, nb)
+		r.Net.Send(origin, links[0], Update{Announce: announce, Withdraw: withdraw})
+	}
+	r.Sim.Run()
+	r.End = r.Sim.Now()
+}
+
+// PathSet returns BGP's multi-path view between src and dst for the
+// Figure 6 comparison: the best path plus all Adj-RIB-In alternatives at
+// src for dst's prefix (the paper assumes full BGP multi-path support and
+// uses parallel links between consecutive ASes for bandwidth
+// aggregation).
+func (r *Result) PathSet(src, dst addr.IA) [][]graphalg.PathLink {
+	sp := r.Speakers[src]
+	if sp == nil || src == dst {
+		return nil
+	}
+	var out [][]graphalg.PathLink
+	for _, route := range sp.AdjInRoutes(dst) {
+		full := append([]addr.IA{src}, route.Path...)
+		// Expand each AS-level hop into all parallel links (BGP
+		// multi-path may bond them).
+		var pl []graphalg.PathLink
+		ok := true
+		for i := 0; i+1 < len(full); i++ {
+			links := r.Cfg.Topo.LinksBetween(full[i], full[i+1])
+			if len(links) == 0 {
+				ok = false
+				break
+			}
+			for _, l := range links {
+				pl = append(pl, graphalg.PathLink{A: l.A, B: l.B, ID: l.ID})
+			}
+		}
+		if ok && len(pl) > 0 {
+			out = append(out, pl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+// Package combinator builds end-to-end forwarding paths from path
+// segments, implementing the combination rules of paper §2.2/§2.3: an
+// end-to-end path consists of up to three segments (up, core, down); a
+// shortcut omits the core segment by crossing over at a non-core AS
+// common to the up- and down-segments; a peering shortcut joins the two
+// segments over a peering link advertised in both.
+//
+// All segments are taken in beaconing direction (origin core AS first)
+// and must be terminated: their last AS entry is the leaf with egress 0.
+package combinator
+
+import (
+	"errors"
+	"fmt"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/topology"
+)
+
+// Hop is one AS traversal: packets enter through In and leave through
+// Out; 0 marks the path end (source's Out on the first hop is always
+// non-zero unless the path is intra-AS).
+type Hop struct {
+	IA  addr.IA
+	In  addr.IfID
+	Out addr.IfID
+}
+
+func (h Hop) String() string { return fmt.Sprintf("%s %s>%s", h.IA, h.In, h.Out) }
+
+// Path is an end-to-end forwarding path at interface granularity.
+type Path struct {
+	Hops []Hop
+	// MTU is the end-to-end path MTU: the minimum of the AS-entry MTUs
+	// of every segment used to build the path (0 if unknown).
+	MTU uint16
+}
+
+// Src returns the first AS, or a zero IA for an empty path.
+func (p *Path) Src() addr.IA {
+	if len(p.Hops) == 0 {
+		return addr.IA{}
+	}
+	return p.Hops[0].IA
+}
+
+// Dst returns the last AS.
+func (p *Path) Dst() addr.IA {
+	if len(p.Hops) == 0 {
+		return addr.IA{}
+	}
+	return p.Hops[len(p.Hops)-1].IA
+}
+
+func (p *Path) String() string {
+	s := "path["
+	for i, h := range p.Hops {
+		if i > 0 {
+			s += " "
+		}
+		s += h.String()
+	}
+	return s + "]"
+}
+
+// Reverse returns the path in the opposite direction (SCION paths are
+// bidirectional; up- and down-segments are interchangeable, §2.2).
+func (p *Path) Reverse() *Path {
+	out := &Path{Hops: make([]Hop, len(p.Hops)), MTU: p.MTU}
+	for i, h := range p.Hops {
+		out.Hops[len(p.Hops)-1-i] = Hop{IA: h.IA, In: h.Out, Out: h.In}
+	}
+	return out
+}
+
+// Links returns the traversed inter-domain links keyed by the upstream
+// side, for failure analysis.
+func (p *Path) Links() []seg.LinkKey {
+	var out []seg.LinkKey
+	for _, h := range p.Hops {
+		if h.Out != 0 {
+			out = append(out, seg.LinkKey{IA: h.IA, If: h.Out})
+		}
+	}
+	return out
+}
+
+// Check validates the path against a topology: every Out interface must
+// attach to a link whose far side is the next hop's AS and In interface.
+func (p *Path) Check(topo *topology.Graph) error {
+	for i := 0; i+1 < len(p.Hops); i++ {
+		cur, next := p.Hops[i], p.Hops[i+1]
+		l := topo.LinkByIf(cur.IA, cur.Out)
+		if l == nil {
+			return fmt.Errorf("combinator: %s has no interface %s", cur.IA, cur.Out)
+		}
+		if l.Other(cur.IA) != next.IA || l.RemoteIf(cur.IA) != next.In {
+			return fmt.Errorf("combinator: hop %d: link %s does not lead to %s#%s", i, l, next.IA, next.In)
+		}
+	}
+	return nil
+}
+
+// ContainsLoop reports whether an AS appears twice.
+func (p *Path) ContainsLoop() bool {
+	seen := map[addr.IA]bool{}
+	for _, h := range p.Hops {
+		if seen[h.IA] {
+			return true
+		}
+		seen[h.IA] = true
+	}
+	return false
+}
+
+// Errors returned by combination.
+var (
+	ErrNotTerminated = errors.New("combinator: segment not terminated")
+	ErrNoJunction    = errors.New("combinator: segments do not share a junction")
+	ErrEmptySegment  = errors.New("combinator: empty segment")
+)
+
+// terminated checks the segment ends with a leaf entry (egress 0).
+func terminated(s *seg.PCB) error {
+	if s.NumHops() == 0 {
+		return ErrEmptySegment
+	}
+	if s.ASEntries[s.NumHops()-1].Hop.ConsEgress != 0 {
+		return ErrNotTerminated
+	}
+	return nil
+}
+
+// segMTU returns the smallest AS-entry MTU of the segment (0 if none set).
+func segMTU(s *seg.PCB) uint16 {
+	var m uint16
+	for i := range s.ASEntries {
+		v := s.ASEntries[i].MTU
+		if v == 0 {
+			continue
+		}
+		if m == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// minMTU combines segment MTUs, ignoring zeros.
+func minMTU(vals ...uint16) uint16 {
+	var m uint16
+	for _, v := range vals {
+		if v == 0 {
+			continue
+		}
+		if m == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// forward converts a terminated segment into hops in beaconing direction
+// (origin first): the beacon entered each AS via ConsIngress and left via
+// ConsEgress, which is exactly the data-plane direction core -> leaf.
+func forward(s *seg.PCB) []Hop {
+	hops := make([]Hop, s.NumHops())
+	for i := range s.ASEntries {
+		e := &s.ASEntries[i]
+		hops[i] = Hop{IA: e.Local, In: e.Hop.ConsIngress, Out: e.Hop.ConsEgress}
+	}
+	return hops
+}
+
+// backward converts a terminated segment into hops against beaconing
+// direction (leaf first), the direction an up-segment is used.
+func backward(s *seg.PCB) []Hop {
+	f := forward(s)
+	out := make([]Hop, len(f))
+	for i, h := range f {
+		out[len(f)-1-i] = Hop{IA: h.IA, In: h.Out, Out: h.In}
+	}
+	return out
+}
+
+// joinAdjacent concatenates hop lists where the junction AS appears as
+// the last hop of a and the first hop of b; the two half-hops merge.
+func joinAdjacent(a, b []Hop) ([]Hop, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, ErrEmptySegment
+	}
+	last, first := a[len(a)-1], b[0]
+	if last.IA != first.IA {
+		return nil, fmt.Errorf("%w: %s vs %s", ErrNoJunction, last.IA, first.IA)
+	}
+	merged := Hop{IA: last.IA, In: last.In, Out: first.Out}
+	out := make([]Hop, 0, len(a)+len(b)-1)
+	out = append(out, a[:len(a)-1]...)
+	out = append(out, merged)
+	out = append(out, b[1:]...)
+	return out, nil
+}
+
+// Combine builds the full three-segment path src -> core1 -> core2 -> dst
+// from a terminated up-segment (origin core1, leaf src), core-segment
+// (origin core2, leaf core1), and down-segment (origin core2, leaf dst).
+// Either up or down may be nil when the corresponding endpoint is itself
+// a core AS; core may be nil when both ISD cores coincide.
+func Combine(up, core, down *seg.PCB) (*Path, error) {
+	var parts [][]Hop
+	if up != nil {
+		if err := terminated(up); err != nil {
+			return nil, fmt.Errorf("up: %w", err)
+		}
+		parts = append(parts, backward(up))
+	}
+	if core != nil {
+		if err := terminated(core); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		parts = append(parts, backward(core))
+	}
+	if down != nil {
+		if err := terminated(down); err != nil {
+			return nil, fmt.Errorf("down: %w", err)
+		}
+		parts = append(parts, forward(down))
+	}
+	if len(parts) == 0 {
+		return nil, ErrEmptySegment
+	}
+	hops := parts[0]
+	for _, p := range parts[1:] {
+		var err error
+		hops, err = joinAdjacent(hops, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var mtus []uint16
+	for _, s := range []*seg.PCB{up, core, down} {
+		if s != nil {
+			mtus = append(mtus, segMTU(s))
+		}
+	}
+	return &Path{Hops: hops, MTU: minMTU(mtus...)}, nil
+}
+
+// Shortcut builds a path that crosses over at a non-core AS common to the
+// up- and down-segment, avoiding the core (paper §2.2). The crossover is
+// the common AS closest to the endpoints (deepest in both segments).
+func Shortcut(up, down *seg.PCB) (*Path, error) {
+	if err := terminated(up); err != nil {
+		return nil, fmt.Errorf("up: %w", err)
+	}
+	if err := terminated(down); err != nil {
+		return nil, fmt.Errorf("down: %w", err)
+	}
+	upHops := backward(up)    // src ... core1
+	downHops := forward(down) // core2 ... dst
+	// Find the crossover: the earliest hop in upHops (deepest AS) that
+	// also appears in downHops.
+	downIdx := map[addr.IA]int{}
+	for i, h := range downHops {
+		if _, ok := downIdx[h.IA]; !ok {
+			downIdx[h.IA] = i
+		}
+	}
+	for i, h := range upHops {
+		j, ok := downIdx[h.IA]
+		if !ok {
+			continue
+		}
+		cross := Hop{IA: h.IA, In: h.In, Out: downHops[j].Out}
+		hops := make([]Hop, 0, i+len(downHops)-j)
+		hops = append(hops, upHops[:i]...)
+		hops = append(hops, cross)
+		hops = append(hops, downHops[j+1:]...)
+		return &Path{Hops: hops, MTU: minMTU(segMTU(up), segMTU(down))}, nil
+	}
+	return nil, ErrNoJunction
+}
+
+// PeeringShortcut joins the up- and down-segment over a peering link that
+// both advertise: an AS U on the up-segment carries a peer entry to an AS
+// D on the down-segment, and D carries the mirrored entry (valley-free
+// peering requires the same link in both segments, paper §2.2).
+func PeeringShortcut(up, down *seg.PCB) (*Path, error) {
+	if err := terminated(up); err != nil {
+		return nil, fmt.Errorf("up: %w", err)
+	}
+	if err := terminated(down); err != nil {
+		return nil, fmt.Errorf("down: %w", err)
+	}
+	upHops := backward(up)
+	downHops := forward(down)
+
+	// Index down-segment peer entries: AS -> peer -> (localIf, peerIf).
+	type peerIf struct{ local, remote addr.IfID }
+	downPeers := map[addr.IA]map[addr.IA]peerIf{}
+	downPos := map[addr.IA]int{}
+	for i, h := range downHops {
+		downPos[h.IA] = i
+	}
+	for i := range down.ASEntries {
+		e := &down.ASEntries[i]
+		m := map[addr.IA]peerIf{}
+		for _, pe := range e.Peers {
+			m[pe.Peer] = peerIf{local: pe.LocalIf, remote: pe.PeerIf}
+		}
+		downPeers[e.Local] = m
+	}
+
+	// Walk the up-segment from the endpoint: the first matching peering
+	// link gives the shortest detour.
+	for i := range upHops {
+		u := upHops[i].IA
+		var uEntry *seg.ASEntry
+		for j := range up.ASEntries {
+			if up.ASEntries[j].Local == u {
+				uEntry = &up.ASEntries[j]
+				break
+			}
+		}
+		if uEntry == nil {
+			continue
+		}
+		for _, pe := range uEntry.Peers {
+			dm, onDown := downPeers[pe.Peer]
+			if !onDown {
+				continue
+			}
+			mirror, ok := dm[u]
+			if !ok {
+				continue
+			}
+			// The same physical link: U's local interface must be the
+			// far side of D's entry and vice versa.
+			if mirror.remote != pe.LocalIf || mirror.local != pe.PeerIf {
+				continue
+			}
+			j := downPos[pe.Peer]
+			crossU := Hop{IA: u, In: upHops[i].In, Out: pe.LocalIf}
+			crossD := Hop{IA: pe.Peer, In: pe.PeerIf, Out: downHops[j].Out}
+			hops := make([]Hop, 0, i+2+len(downHops)-j)
+			hops = append(hops, upHops[:i]...)
+			hops = append(hops, crossU, crossD)
+			hops = append(hops, downHops[j+1:]...)
+			return &Path{Hops: hops, MTU: minMTU(segMTU(up), segMTU(down))}, nil
+		}
+	}
+	return nil, ErrNoJunction
+}
+
+// AllPaths combines every compatible (up, core, down) triple plus all
+// shortcuts into the candidate path set an endpoint can choose from,
+// dropping looping paths.
+func AllPaths(ups, cores, downs []*seg.PCB) []*Path {
+	var out []*Path
+	add := func(p *Path, err error) {
+		if err == nil && !p.ContainsLoop() {
+			out = append(out, p)
+		}
+	}
+	for _, up := range ups {
+		for _, down := range downs {
+			add(Shortcut(up, down))
+			add(PeeringShortcut(up, down))
+			for _, c := range cores {
+				add(Combine(up, c, down))
+			}
+			// Same-core junction without a core segment.
+			add(Combine(up, nil, down))
+		}
+	}
+	return out
+}

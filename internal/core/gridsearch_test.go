@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+)
+
+func TestGridSearchFindsOptimum(t *testing.T) {
+	base := DefaultParams(5)
+	// Objective with a known optimum inside the exponential grid.
+	obj := func(p Params) float64 {
+		return -(math.Abs(p.Alpha-4) + math.Abs(p.Beta-2) + math.Abs(p.Gamma-2) + math.Abs(p.ScoreThreshold-0.05))
+	}
+	best, score := GridSearch(base, ExponentialSpace(), obj)
+	if best.Alpha != 4 || best.Beta != 2 || best.Gamma != 2 || best.ScoreThreshold != 0.05 {
+		t.Errorf("best = %+v (score %v)", best, score)
+	}
+	// Non-swept fields stay from base.
+	if best.Limit != 5 || best.MaxGeoMean != base.MaxGeoMean {
+		t.Error("base fields lost")
+	}
+}
+
+func TestGridSearchSkipsNaN(t *testing.T) {
+	base := DefaultParams(5)
+	calls := 0
+	obj := func(p Params) float64 {
+		calls++
+		if p.Alpha != 1 {
+			return math.NaN()
+		}
+		return 1
+	}
+	best, score := GridSearch(base, ExponentialSpace(), obj)
+	if best.Alpha != 1 || score != 1 {
+		t.Errorf("best alpha = %v score = %v", best.Alpha, score)
+	}
+	if calls != ExponentialSpace().Size() {
+		t.Errorf("calls = %d, want full grid %d", calls, ExponentialSpace().Size())
+	}
+}
+
+func TestLinearSpaceAround(t *testing.T) {
+	p := DefaultParams(5)
+	p.Alpha = 10
+	s := LinearSpaceAround(p, 2)
+	if len(s.Alphas) != 5 {
+		t.Fatalf("alphas = %v", s.Alphas)
+	}
+	for _, a := range s.Alphas {
+		if a < 5-1e-9 || a > 15+1e-9 {
+			t.Errorf("alpha %v outside +/-50%% of 10", a)
+		}
+	}
+	// Degenerate step count collapses to the center.
+	s0 := LinearSpaceAround(p, 0)
+	if len(s0.Alphas) != 1 || s0.Alphas[0] != 10 {
+		t.Errorf("zero-step space = %v", s0.Alphas)
+	}
+}
+
+func TestTwoStageSearchImproves(t *testing.T) {
+	base := DefaultParams(5)
+	obj := func(p Params) float64 { return -math.Abs(p.Alpha - 3) }
+	best, _ := TwoStageSearch(base, obj, 3)
+	// Coarse stage hits 2 or 4; refinement must get closer to 3.
+	if math.Abs(best.Alpha-3) > 1 {
+		t.Errorf("refined alpha = %v", best.Alpha)
+	}
+}
+
+func TestASDisjointAblation(t *testing.T) {
+	p := DefaultParams(5)
+	p.ASDisjoint = true
+	d := NewDiversity(p)(addr.MustIA(1, 1)).(*Diversity)
+	tbl := d.table(origin, neighbor)
+	// Two parallel links of the same AS collapse to one counter.
+	a := seg.LinkKey{IA: addr.MustIA(1, 7), If: 1}
+	b := seg.LinkKey{IA: addr.MustIA(1, 7), If: 2}
+	tbl[d.tableKey(a)]++
+	// Under AS-disjointness the parallel link b counts as covered...
+	dsAS := d.diversityScore([]seg.LinkKey{b}, tbl)
+	// ...whereas link-disjointness treats it as new.
+	p2 := DefaultParams(5)
+	d2 := NewDiversity(p2)(addr.MustIA(1, 1)).(*Diversity)
+	tbl2 := d2.table(origin, neighbor)
+	tbl2[a]++
+	dsLink := d2.diversityScore([]seg.LinkKey{b}, tbl2)
+	if !(dsAS < dsLink) {
+		t.Errorf("AS-disjoint ds %v must be below link-disjoint ds %v for a parallel link", dsAS, dsLink)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+)
+
+func latFuncFavoring(fast seg.LinkKey) LatencyFunc {
+	return func(lk seg.LinkKey) time.Duration {
+		if lk == fast {
+			return time.Millisecond
+		}
+		return 50 * time.Millisecond
+	}
+}
+
+func TestLatencyAwarePrefersLowLatency(t *testing.T) {
+	// Two 1-hop paths; the one over link 100#1 is fast.
+	fast := seg.LinkKey{IA: addr.MustIA(1, 100), If: 1}
+	l := NewLatencyAware(1, latFuncFavoring(fast))(addr.MustIA(1, 1)).(*LatencyAware)
+
+	pFast := mkPCB(t, origin, 0, [3]uint64{100, 0, 1})
+	pSlow := mkPCB(t, origin, 0, [3]uint64{100, 0, 2})
+	sel := l.Select(0, origin, neighbor, []addr.IfID{9}, []*seg.PCB{pSlow, pFast})
+	if len(sel) != 1 || sel[0].PCB != pFast {
+		t.Fatalf("selected %v, want the fast path", sel)
+	}
+}
+
+func TestLatencyAwareSuppressesResend(t *testing.T) {
+	l := NewLatencyAware(5, UniformLatency(time.Millisecond))(addr.MustIA(1, 1)).(*LatencyAware)
+	p := mkPCB(t, origin, 0, [3]uint64{100, 0, 1})
+	if n := len(l.Select(0, origin, neighbor, []addr.IfID{9}, []*seg.PCB{p})); n != 1 {
+		t.Fatalf("first selection = %d", n)
+	}
+	// Same path next interval: suppressed.
+	if n := len(l.Select(10*minute, origin, neighbor, []addr.IfID{9}, []*seg.PCB{p})); n != 0 {
+		t.Errorf("resent immediately: %d", n)
+	}
+	// Near expiry with a fresher instance: refreshed.
+	fresh := mkPCB(t, origin, 5*hour+30*minute, [3]uint64{100, 0, 1})
+	if n := len(l.Select(5*hour+30*minute, origin, neighbor, []addr.IfID{9}, []*seg.PCB{fresh})); n != 1 {
+		t.Error("near-expiry path not refreshed")
+	}
+	// Without a fresher instance there is nothing useful to resend.
+	l2 := NewLatencyAware(5, UniformLatency(time.Millisecond))(addr.MustIA(1, 1)).(*LatencyAware)
+	l2.Select(0, origin, neighbor, []addr.IfID{9}, []*seg.PCB{p})
+	if n := len(l2.Select(5*hour+30*minute, origin, neighbor, []addr.IfID{9}, []*seg.PCB{p})); n != 0 {
+		t.Error("stale instance re-sent without a fresher replacement")
+	}
+}
+
+func TestLatencyAwareLimitAndExpiry(t *testing.T) {
+	l := NewLatencyAware(2, UniformLatency(time.Millisecond))(addr.MustIA(1, 1)).(*LatencyAware)
+	var stored []*seg.PCB
+	for i := 1; i <= 4; i++ {
+		stored = append(stored, mkPCB(t, origin, 0, [3]uint64{100, 0, uint64(i)}))
+	}
+	if n := len(l.Select(0, origin, neighbor, []addr.IfID{9}, stored)); n != 2 {
+		t.Errorf("limit not applied: %d", n)
+	}
+	if n := len(l.Select(7*hour, origin, neighbor, []addr.IfID{9}, stored)); n != 0 {
+		t.Errorf("expired PCBs selected: %d", n)
+	}
+	z := NewLatencyAware(0, UniformLatency(0))(addr.MustIA(1, 1)).(*LatencyAware)
+	if z.Select(0, origin, neighbor, []addr.IfID{9}, stored) != nil {
+		t.Error("zero limit must select nothing")
+	}
+	if l.Name() != "latency" {
+		t.Error("name")
+	}
+}

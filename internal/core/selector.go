@@ -1,0 +1,49 @@
+// Package core implements the paper's primary contribution: PCB selection
+// for SCION beaconing. It provides the baseline path construction
+// algorithm currently used in the SCION production network (propagate the
+// k shortest stored PCBs per origin on every interface, every interval)
+// and the Path-Diversity-Based Path Construction Algorithm of §4.2 /
+// Appendix A, which scores candidate (PCB, egress interface) combinations
+// by link disjointness, age, and lifetime (Equations 1–3) while tracking
+// Link History Tables and Sent-PCB lists to suppress redundant
+// retransmissions.
+package core
+
+import (
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// Selection is one dissemination decision: propagate PCB out of Egress.
+type Selection struct {
+	PCB    *seg.PCB
+	Egress addr.IfID
+}
+
+// Selector decides, at each beaconing interval, which stored PCBs of one
+// origin AS to propagate toward one neighbor AS. ifaces are the local
+// egress interfaces connecting to that neighbor (several when parallel
+// links exist). stored are the valid PCBs of the origin currently in the
+// beacon store, already filtered for loops through the neighbor.
+//
+// Select both decides and commits: stateful selectors (the diversity
+// algorithm) update their history tables under the assumption that the
+// returned selections are disseminated.
+type Selector interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	Select(now sim.Time, origin, neighbor addr.IA, ifaces []addr.IfID, stored []*seg.PCB) []Selection
+}
+
+// Factory builds one selector instance per AS (selectors hold AS-local
+// state, mirroring the paper's AS-local beaconing decisions).
+type Factory func(local addr.IA) Selector
+
+// Revoker is implemented by selectors that keep per-link state (Sent-PCB
+// lists, Link History Tables); Revoke clears the state tied to a failed
+// link so alternatives are re-disseminated promptly instead of being
+// suppressed as "already sent".
+type Revoker interface {
+	Revoke(link seg.LinkKey)
+}

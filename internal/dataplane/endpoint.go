@@ -1,0 +1,106 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+)
+
+// Endpoint is a multi-path SCION host: it holds a set of authorized
+// forwarding paths to a destination, sends on the active one, and fails
+// over immediately when an SCMP revocation arrives — the fast-failover
+// property that motivated the first production deployments (paper §3.1).
+type Endpoint struct {
+	Host   addr.Host
+	fabric *Fabric
+
+	paths  []*FwdPath
+	active int
+	// revoked links learned from SCMP messages.
+	revoked map[seg.LinkKey]bool
+
+	// Stats
+	Sent, Failovers, Exhausted uint64
+	// OnRevocation, if set, observes incoming revocations.
+	OnRevocation func(link seg.LinkKey)
+}
+
+// NewEndpoint attaches a host to the fabric and installs its SCMP handler.
+func NewEndpoint(f *Fabric, host addr.Host) *Endpoint {
+	e := &Endpoint{Host: host, fabric: f, revoked: map[seg.LinkKey]bool{}}
+	f.OnSCMP(host.IA, e.handleSCMP)
+	return e
+}
+
+// SetPaths installs the candidate path set (e.g. from combinator.AllPaths
+// via Authorize), resetting failover state.
+func (e *Endpoint) SetPaths(paths []*FwdPath) {
+	e.paths = paths
+	e.active = 0
+	e.revoked = map[seg.LinkKey]bool{}
+}
+
+// ActivePath returns the path currently in use, or nil when exhausted.
+func (e *Endpoint) ActivePath() *FwdPath {
+	if e.active < 0 || e.active >= len(e.paths) {
+		return nil
+	}
+	return e.paths[e.active]
+}
+
+// pathUsable reports whether a path avoids all revoked links.
+func (e *Endpoint) pathUsable(p *FwdPath) bool {
+	for _, h := range p.Hops {
+		if h.Hop.Out != 0 && e.revoked[seg.LinkKey{IA: h.Hop.IA, If: h.Hop.Out}] {
+			return false
+		}
+		if h.Hop.In != 0 && e.revoked[seg.LinkKey{IA: h.Hop.IA, If: h.Hop.In}] {
+			return false
+		}
+	}
+	return true
+}
+
+// handleSCMP records the revoked link and switches to the next usable
+// path — no waiting for route re-convergence (paper: "hosts switch to a
+// different path as soon as the SCMP message is received").
+func (e *Endpoint) handleSCMP(msg *SCMP) {
+	if msg.Type != SCMPRevokedLink {
+		return
+	}
+	// The revocation names the upstream side; the same physical link seen
+	// from the other side must be revoked too.
+	e.revoked[msg.Link] = true
+	if l := e.fabric.Topo.LinkByIf(msg.Link.IA, msg.Link.If); l != nil {
+		other := l.Other(msg.Link.IA)
+		e.revoked[seg.LinkKey{IA: other, If: l.LocalIf(other)}] = true
+	}
+	if e.OnRevocation != nil {
+		e.OnRevocation(msg.Link)
+	}
+	cur := e.ActivePath()
+	if cur != nil && e.pathUsable(cur) {
+		return
+	}
+	for i, p := range e.paths {
+		if e.pathUsable(p) {
+			e.active = i
+			e.Failovers++
+			return
+		}
+	}
+	e.active = len(e.paths)
+	e.Exhausted++
+}
+
+// Send transmits a payload to dst over the active path.
+func (e *Endpoint) Send(dst addr.Host, payload []byte) error {
+	p := e.ActivePath()
+	if p == nil {
+		return fmt.Errorf("dataplane: %s has no usable path", e.Host)
+	}
+	pkt := &Packet{Src: e.Host, Dst: dst, Path: p, Payload: payload}
+	e.Sent++
+	return e.fabric.Inject(pkt)
+}

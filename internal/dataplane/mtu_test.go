@@ -1,0 +1,98 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scionmpr/internal/addr"
+)
+
+func TestMTUEnforcedAtSource(t *testing.T) {
+	e := newEnv(t)
+	fp := e.paths[0]
+	if fp.MTU == 0 {
+		t.Fatal("combinator path carried no MTU")
+	}
+	src := addr.HostIP4(a6, 10, 0, 0, 1)
+	dst := addr.HostIP4(a4, 10, 0, 0, 2)
+
+	small := &Packet{Src: src, Dst: dst, Path: fp, Payload: make([]byte, 64)}
+	if err := e.fabric.Inject(small); err != nil {
+		t.Fatalf("small packet rejected: %v", err)
+	}
+	big := &Packet{Src: src, Dst: dst, Path: fp, Payload: make([]byte, int(fp.MTU)+1)}
+	err := e.fabric.Inject(big)
+	if err == nil {
+		t.Fatal("oversized packet accepted")
+	}
+	if !strings.Contains(err.Error(), "MTU") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if e.fabric.DroppedTooBig != 1 {
+		t.Errorf("DroppedTooBig = %d", e.fabric.DroppedTooBig)
+	}
+	// Unknown MTU (0) is not enforced.
+	open := &FwdPath{Hops: fp.Hops}
+	huge := &Packet{Src: src, Dst: dst, Path: open, Payload: make([]byte, 1<<16)}
+	if err := e.fabric.Inject(huge); err != nil {
+		t.Errorf("MTU-less path must not enforce: %v", err)
+	}
+}
+
+func TestMTUSurvivesAuthorizeAndReverse(t *testing.T) {
+	e := newEnv(t)
+	fp := e.paths[0]
+	rev, err := fp.Reverse(e.infra.ForwardingKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.MTU != fp.MTU {
+		t.Errorf("reverse MTU = %d, want %d", rev.MTU, fp.MTU)
+	}
+}
+
+func TestIntraASDelay(t *testing.T) {
+	e := newEnv(t)
+	src := addr.HostIP4(a6, 10, 0, 0, 1)
+	dst := addr.HostIP4(a4, 10, 0, 0, 2)
+	var pick *FwdPath
+	for _, p := range e.paths {
+		if len(p.Hops) >= 3 {
+			pick = p
+			break
+		}
+	}
+	if pick == nil {
+		t.Skip("no multi-hop path")
+	}
+	// Baseline transit time without internal delay.
+	base := &Packet{Src: src, Dst: dst, Path: pick}
+	if err := e.fabric.Inject(base); err != nil {
+		t.Fatal(err)
+	}
+	e.sim.Run()
+	baseline := e.sim.Now()
+
+	// 7ms per internal BR-to-BR hop at every transit AS.
+	e.fabric.IntraASDelay = func(ia addr.IA, in, out addr.IfID) time.Duration {
+		return 7 * time.Millisecond
+	}
+	again := &Packet{Src: src, Dst: dst, Path: pick}
+	if err := e.fabric.Inject(again); err != nil {
+		t.Fatal(err)
+	}
+	e.sim.Run()
+	transit := len(pick.Hops) - 2 // intermediate ASes
+	wantExtra := time.Duration(transit) * 7 * time.Millisecond
+	gotExtra := time.Duration(e.sim.Now() - baseline)
+	// The second packet started at `baseline`, so its flight time is the
+	// difference; it must exceed the first flight time by wantExtra.
+	firstFlight := time.Duration(baseline)
+	if gotExtra != firstFlight+wantExtra {
+		t.Errorf("delayed flight = %v, want %v + %v", gotExtra, firstFlight, wantExtra)
+	}
+	if e.fabric.Delivered != 2 {
+		t.Errorf("delivered = %d", e.fabric.Delivered)
+	}
+}

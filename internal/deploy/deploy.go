@@ -1,0 +1,200 @@
+// Package deploy models the ISP deployment scenarios of paper §3.3
+// (Figure 2) and the island-bridging transit service of §3.3's
+// partial-deployment discussion:
+//
+//   - Native cross-connect: two SCION border routers on a dedicated
+//     layer-2 circuit — BGP-free, full capacity for SCION.
+//   - Router-on-a-stick: SCION packets IP-encapsulated over an existing
+//     cross-connection shared with legacy traffic; a queueing discipline
+//     must guarantee SCION a minimum bandwidth share so IP traffic cannot
+//     crowd it out (the availability consideration of §3.2/§3.3).
+//   - Redundant connection: both of the above combined, exposed either as
+//     one logical link or as two SCION interfaces for multipath.
+//
+// BridgeIslands models the SCION-transit service: islands of SCION
+// deployment joined through a transit provider's points of presence with
+// native links, avoiding IP tunnels over the BGP Internet.
+package deploy
+
+import (
+	"fmt"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/topology"
+)
+
+// Model is the deployment model of one inter-ISP connection.
+type Model int
+
+const (
+	// NativeCrossConnect is Figure 2a: a dedicated layer-2 circuit
+	// between SCION border routers.
+	NativeCrossConnect Model = iota
+	// RouterOnAStick is Figure 2b: SCION-in-IP over a shared legacy
+	// cross-connection with host routes (still BGP-free).
+	RouterOnAStick
+	// Redundant is Figure 2c: both links combined.
+	Redundant
+)
+
+func (m Model) String() string {
+	switch m {
+	case NativeCrossConnect:
+		return "native-cross-connect"
+	case RouterOnAStick:
+		return "router-on-a-stick"
+	case Redundant:
+		return "redundant"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// IPEncapOverhead is the per-packet byte overhead of IP-encapsulating a
+// SCION packet on a router-on-a-stick link (outer IPv4 + UDP header).
+const IPEncapOverhead = 20 + 8
+
+// Connection is one provisioned inter-ISP connection under a deployment
+// model.
+type Connection struct {
+	Model Model
+	// CapacityBps of the native circuit (NativeCrossConnect, Redundant).
+	NativeCapacityBps float64
+	// SharedCapacityBps of the legacy cross-connection
+	// (RouterOnAStick, Redundant).
+	SharedCapacityBps float64
+	// MinSCIONShare is the fraction of the shared link the queueing
+	// discipline reserves for SCION traffic (0 = best effort, which §3.3
+	// warns against: an adversary could overload the shared link).
+	MinSCIONShare float64
+}
+
+// Validate checks the configuration is coherent for its model.
+func (c *Connection) Validate() error {
+	switch c.Model {
+	case NativeCrossConnect:
+		if c.NativeCapacityBps <= 0 {
+			return fmt.Errorf("deploy: native cross-connect needs native capacity")
+		}
+	case RouterOnAStick:
+		if c.SharedCapacityBps <= 0 {
+			return fmt.Errorf("deploy: router-on-a-stick needs shared capacity")
+		}
+	case Redundant:
+		if c.NativeCapacityBps <= 0 || c.SharedCapacityBps <= 0 {
+			return fmt.Errorf("deploy: redundant connection needs both capacities")
+		}
+	default:
+		return fmt.Errorf("deploy: unknown model %d", c.Model)
+	}
+	if c.MinSCIONShare < 0 || c.MinSCIONShare > 1 {
+		return fmt.Errorf("deploy: SCION share %v outside [0,1]", c.MinSCIONShare)
+	}
+	return nil
+}
+
+// BGPFree reports whether the connection is independent of BGP routing.
+// All three models are BGP-free (the stick uses host routes); an IP
+// tunnel across the public Internet would not be, which is why island
+// bridging goes through the transit service instead.
+func (c *Connection) BGPFree() bool { return true }
+
+// SCIONThroughput computes the SCION goodput (bits/s) when scionOffered
+// SCION load and ipOffered legacy load (both bits/s) hit the connection.
+//
+// Native circuits carry no IP traffic. On shared links the queueing
+// discipline guarantees min(MinSCIONShare * capacity, offered); beyond
+// the guarantee SCION competes proportionally for the remainder. The
+// redundant model fills the native circuit first.
+func (c *Connection) SCIONThroughput(scionOffered, ipOffered float64) float64 {
+	if scionOffered <= 0 {
+		return 0
+	}
+	switch c.Model {
+	case NativeCrossConnect:
+		return min2(scionOffered, c.NativeCapacityBps)
+	case RouterOnAStick:
+		return sharedThroughput(scionOffered, ipOffered, c.SharedCapacityBps, c.MinSCIONShare)
+	case Redundant:
+		native := min2(scionOffered, c.NativeCapacityBps)
+		rest := scionOffered - native
+		return native + sharedThroughput(rest, ipOffered, c.SharedCapacityBps, c.MinSCIONShare)
+	}
+	return 0
+}
+
+func sharedThroughput(scion, ip, capacity, share float64) float64 {
+	if scion <= 0 || capacity <= 0 {
+		return 0
+	}
+	if scion+ip <= capacity {
+		return scion // no congestion
+	}
+	guaranteed := min2(scion, share*capacity)
+	// The remaining capacity is shared proportionally to offered load.
+	restCap := capacity - guaranteed
+	restScion := scion - guaranteed
+	if restScion <= 0 || restCap <= 0 {
+		return min2(guaranteed, capacity)
+	}
+	fairScion := restCap * restScion / (restScion + ip)
+	return guaranteed + fairScion
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SCIONInterfaces returns how many SCION interface IDs the connection
+// exposes: the redundant model may expose its two links separately,
+// "enabling multipath selection for either of the links" (§3.3).
+func (c *Connection) SCIONInterfaces(exposeSeparately bool) int {
+	if c.Model == Redundant && exposeSeparately {
+		return 2
+	}
+	return 1
+}
+
+// Provision adds the connection between two ASes to a topology, creating
+// one inter-domain link per exposed SCION interface.
+func Provision(g *topology.Graph, a, b addr.IA, rel topology.Rel, c *Connection, exposeSeparately bool) ([]*topology.Link, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.SCIONInterfaces(exposeSeparately)
+	links := make([]*topology.Link, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := g.Connect(a, b, rel)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}
+
+// BridgeIslands connects every island AS to the transit provider's AS
+// with native links (the SCION-transit service: "one-hop access" to a
+// global BGP-free backbone with 100+ points of presence). The transit AS
+// is created as a core AS if absent. It returns the created links.
+func BridgeIslands(g *topology.Graph, transit addr.IA, islands []addr.IA) ([]*topology.Link, error) {
+	g.AddAS(transit, true)
+	var links []*topology.Link
+	for _, isl := range islands {
+		if g.AS(isl) == nil {
+			return nil, fmt.Errorf("deploy: unknown island AS %s", isl)
+		}
+		rel := topology.ProviderOf
+		if g.AS(isl).Core {
+			rel = topology.Core
+		}
+		l, err := g.Connect(transit, isl, rel)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}

@@ -1,0 +1,168 @@
+package deploy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/beacon"
+	"scionmpr/internal/core"
+	"scionmpr/internal/topology"
+)
+
+const gbps = 1e9
+
+func TestValidate(t *testing.T) {
+	bad := []Connection{
+		{Model: NativeCrossConnect},
+		{Model: RouterOnAStick},
+		{Model: Redundant, NativeCapacityBps: gbps},
+		{Model: RouterOnAStick, SharedCapacityBps: gbps, MinSCIONShare: 1.5},
+		{Model: Model(42), NativeCapacityBps: gbps},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	good := Connection{Model: Redundant, NativeCapacityBps: gbps, SharedCapacityBps: gbps, MinSCIONShare: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !good.BGPFree() {
+		t.Error("deployment models must be BGP-free")
+	}
+}
+
+func TestNativeThroughput(t *testing.T) {
+	c := Connection{Model: NativeCrossConnect, NativeCapacityBps: gbps}
+	if got := c.SCIONThroughput(0.4*gbps, 10*gbps); got != 0.4*gbps {
+		t.Errorf("native ignores IP load: %v", got)
+	}
+	if got := c.SCIONThroughput(2*gbps, 0); got != gbps {
+		t.Errorf("native caps at capacity: %v", got)
+	}
+	if c.SCIONThroughput(0, gbps) != 0 {
+		t.Error("no offered SCION load must give 0")
+	}
+}
+
+func TestStickGuaranteeUnderAdversarialIP(t *testing.T) {
+	// §3.3: an adversary overloading the shared link with IP traffic must
+	// not crowd SCION below the queueing discipline's guaranteed share.
+	c := Connection{Model: RouterOnAStick, SharedCapacityBps: gbps, MinSCIONShare: 0.3}
+	got := c.SCIONThroughput(0.5*gbps, 100*gbps)
+	if got < 0.3*gbps {
+		t.Errorf("SCION throughput %v below guaranteed 0.3 Gbps", got)
+	}
+	// Without a guarantee the adversary wins almost everything.
+	open := Connection{Model: RouterOnAStick, SharedCapacityBps: gbps, MinSCIONShare: 0}
+	starved := open.SCIONThroughput(0.5*gbps, 100*gbps)
+	if starved > 0.05*gbps {
+		t.Errorf("unprotected SCION throughput %v suspiciously high", starved)
+	}
+	// Uncongested: full offered load goes through.
+	if got := c.SCIONThroughput(0.2*gbps, 0.3*gbps); got != 0.2*gbps {
+		t.Errorf("uncongested stick = %v", got)
+	}
+}
+
+func TestRedundantFillsNativeFirst(t *testing.T) {
+	c := Connection{Model: Redundant, NativeCapacityBps: gbps, SharedCapacityBps: gbps, MinSCIONShare: 0.5}
+	// 1.4 Gbps offered: 1 Gbps native + 0.4 via shared (uncongested).
+	if got := c.SCIONThroughput(1.4*gbps, 0); got != 1.4*gbps {
+		t.Errorf("redundant uncongested = %v", got)
+	}
+	// With adversarial IP, still at least native + guaranteed share.
+	got := c.SCIONThroughput(2*gbps, 100*gbps)
+	if got < 1.5*gbps {
+		t.Errorf("redundant under attack = %v, want >= 1.5 Gbps", got)
+	}
+}
+
+func TestThroughputNeverExceedsOfferedOrCapacity(t *testing.T) {
+	f := func(scion, ip float64, share float64) bool {
+		if scion < 0 {
+			scion = -scion
+		}
+		if ip < 0 {
+			ip = -ip
+		}
+		share = share - float64(int(share)) // fractional part
+		if share < 0 {
+			share = -share
+		}
+		c := Connection{Model: RouterOnAStick, SharedCapacityBps: gbps, MinSCIONShare: share}
+		got := c.SCIONThroughput(scion, ip)
+		return got <= scion+1e-6 && got <= gbps+1e-6 && got >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSCIONInterfacesAndProvision(t *testing.T) {
+	c := Connection{Model: Redundant, NativeCapacityBps: gbps, SharedCapacityBps: gbps}
+	if c.SCIONInterfaces(true) != 2 || c.SCIONInterfaces(false) != 1 {
+		t.Error("redundant interface exposure wrong")
+	}
+	g := topology.New()
+	a := addr.MustIA(1, 1)
+	b := addr.MustIA(1, 2)
+	g.AddAS(a, true)
+	g.AddAS(b, true)
+	links, err := Provision(g, a, b, topology.Core, &c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 || len(g.LinksBetween(a, b)) != 2 {
+		t.Errorf("provisioned %d links", len(links))
+	}
+	bad := Connection{Model: NativeCrossConnect}
+	if _, err := Provision(g, a, b, topology.Core, &bad, false); err == nil {
+		t.Error("invalid connection provisioned")
+	}
+}
+
+func TestBridgeIslandsRestoresBeaconing(t *testing.T) {
+	// Two SCION islands (disconnected core ASes); bridging them through
+	// the transit service makes core beaconing span both.
+	g := topology.New()
+	i1 := addr.MustIA(1, 0xff00_0000_0100)
+	i2 := addr.MustIA(2, 0xff00_0000_0200)
+	g.AddAS(i1, true)
+	g.AddAS(i2, true)
+	transit := addr.MustIA(9, 0xff00_0000_0900)
+	links, err := BridgeIslands(g, transit, []addr.IA{i1, i2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d", len(links))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := beacon.DefaultRunConfig(g, beacon.CoreMode, core.NewBaseline(5), 10)
+	cfg.Duration = time.Hour
+	res, err := beacon.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PathSet(i1, i2)) == 0 || len(res.PathSet(i2, i1)) == 0 {
+		t.Error("bridged islands cannot reach each other")
+	}
+	// Unknown island rejected.
+	if _, err := BridgeIslands(g, transit, []addr.IA{addr.MustIA(7, 7)}); err == nil {
+		t.Error("unknown island accepted")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for _, m := range []Model{NativeCrossConnect, RouterOnAStick, Redundant, Model(9)} {
+		if m.String() == "" {
+			t.Errorf("empty string for %d", m)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scionmpr/internal/core"
+	"scionmpr/internal/graphalg"
+	"scionmpr/internal/metrics"
+)
+
+// AblationRow is one selector variant's overhead and path quality.
+type AblationRow struct {
+	Name string
+	// Bytes is the total control-plane bytes of the run.
+	Bytes uint64
+	// Messages is the number of disseminated PCBs.
+	Messages uint64
+	// QualityFraction is the mean achieved fraction of optimal capacity.
+	QualityFraction float64
+}
+
+// AblationResult compares the design choices DESIGN.md calls out, on one
+// core network: the baseline, the shipped diversity algorithm, the
+// paper-literal raw geometric mean, AS-level disjointness, and the
+// latency-aware extension.
+type AblationResult struct {
+	Scale Scale
+	Rows  []AblationRow
+}
+
+// RunAblation executes every variant on the same environment.
+func RunAblation(s Scale) (*AblationResult, error) {
+	e, err := newEnv(s)
+	if err != nil {
+		return nil, err
+	}
+	pairs := e.samplePairs()
+	opt := make([]float64, len(pairs))
+	for i, p := range pairs {
+		opt[i] = float64(graphalg.OptimalFlow(e.core, p[0], p[1]))
+	}
+
+	raw := core.DefaultParams(s.DissemLimit)
+	raw.RawGeoMean = true
+	asd := core.DefaultParams(s.DissemLimit)
+	asd.ASDisjoint = true
+
+	variants := []struct {
+		name    string
+		factory core.Factory
+	}{
+		{"baseline", core.NewBaseline(s.DissemLimit)},
+		{"diversity (default)", core.NewDiversity(core.DefaultParams(s.DissemLimit))},
+		{"diversity (raw geomean)", core.NewDiversity(raw)},
+		{"diversity (AS-disjoint)", core.NewDiversity(asd)},
+		{"latency-aware", core.NewLatencyAware(s.DissemLimit, core.UniformLatency(10*time.Millisecond))},
+	}
+
+	res := &AblationResult{Scale: s}
+	for _, v := range variants {
+		run, err := e.runCore(v.factory, s.StoreLimit)
+		if err != nil {
+			return nil, err
+		}
+		var msgs uint64
+		for _, srv := range run.Servers {
+			msgs += srv.Originated + srv.Propagated
+		}
+		quality, n := 0.0, 0
+		for i, p := range pairs {
+			if opt[i] <= 0 {
+				continue
+			}
+			quality += float64(run.Quality(p[0], p[1])) / opt[i]
+			n++
+		}
+		if n > 0 {
+			quality /= float64(n)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name:            v.name,
+			Bytes:           run.TotalOverheadBytes(),
+			Messages:        msgs,
+			QualityFraction: quality,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r *AblationResult) Print(w io.Writer) {
+	t := &metrics.Table{Header: []string{"variant", "PCBs sent", "bytes", "quality (frac of optimum)"}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name,
+			fmt.Sprintf("%d", row.Messages),
+			fmt.Sprintf("%d", row.Bytes),
+			fmt.Sprintf("%.1f%%", 100*row.QualityFraction),
+		})
+	}
+	fmt.Fprintln(w, "== Ablation: selector variants on the same core network ==")
+	t.Fprint(w)
+}

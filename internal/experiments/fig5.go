@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/beacon"
+	"scionmpr/internal/bgp"
+	"scionmpr/internal/bgpsec"
+	"scionmpr/internal/core"
+	"scionmpr/internal/metrics"
+	"scionmpr/internal/topology"
+)
+
+// Fig5Result holds, per monitor AS, the estimated monthly control-plane
+// bytes of each protocol, and the derived overhead-relative-to-BGP
+// distributions of Figure 5.
+type Fig5Result struct {
+	Scale    Scale
+	Monitors []addr.IA
+
+	// Monthly bytes per monitor.
+	BGP, BGPsec, CoreBaseline, CoreDiversity, IntraBaseline []float64
+}
+
+// RunFig5 reproduces Figure 5: six hours of SCION beaconing (baseline and
+// diversity core beaconing on the core network; baseline intra-ISD
+// beaconing on a large ISD) and a BGP convergence simulation on the full
+// topology, all scaled to one month and expressed relative to BGP at the
+// same monitor ASes.
+func RunFig5(s Scale) (*Fig5Result, error) {
+	e, err := newEnv(s)
+	if err != nil {
+		return nil, err
+	}
+	monitors := e.monitors()
+	res := &Fig5Result{Scale: s, Monitors: monitors}
+
+	// Scale factor from one simulated beaconing window to a month.
+	monthScale := float64(30*24*time.Hour) / float64(s.Duration)
+
+	// Control-plane bytes crossing a monitor's interfaces (RX+TX): core
+	// ASes originate but receive nothing in intra-ISD beaconing, so a
+	// one-sided measure would degenerate to zero there.
+	monitorBytes := func(run *beacon.RunResult, ia addr.IA) float64 {
+		if run.Cfg.Topo.AS(ia) == nil {
+			return math.NaN() // monitor outside this sub-topology
+		}
+		return float64(run.Net.TotalRx(ia)+run.Net.TotalTx(ia)) * monthScale
+	}
+
+	// SCION core beaconing, baseline and diversity.
+	baseRun, err := e.runCore(core.NewBaseline(s.DissemLimit), s.StoreLimit)
+	if err != nil {
+		return nil, err
+	}
+	divRun, err := e.runCore(core.NewDiversity(core.DefaultParams(s.DissemLimit)), s.StoreLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	// Intra-ISD beaconing on the large ISD built from the full topology.
+	isdTopo, err := topology.BuildISD(e.full, s.ISDCores)
+	if err != nil {
+		return nil, err
+	}
+	intraCfg := beacon.DefaultRunConfig(isdTopo, beacon.IntraMode, core.NewBaseline(s.DissemLimit), s.StoreLimit)
+	intraCfg.Interval = s.Interval
+	intraCfg.Lifetime = s.Lifetime
+	intraCfg.Duration = s.Duration
+	intraRun, err := beacon.Run(intraCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// BGP convergence on the full topology; BGPsec derived from it.
+	bgpRes, err := bgp.Run(bgp.DefaultConfig(e.full))
+	if err != nil {
+		return nil, err
+	}
+	// Calibrate prefix density to the real Internet so the BGP table —
+	// the denominator of every Figure 5 ratio — does not shrink
+	// quadratically with the scaled-down topology.
+	prefixes := bgp.CalibratePrefixCounts(bgp.SyntheticPrefixCounts(e.full), bgp.RealInternetMeanPrefixes)
+	bgpAcct := bgp.MonthlyAccounting{Prefixes: prefixes, ChurnPerMonth: 30}
+	secAcct := bgpsec.DefaultAccounting(prefixes)
+
+	for _, m := range monitors {
+		sp := bgpRes.Speakers[m]
+		res.BGP = append(res.BGP, bgpAcct.BGPMonthlyBytes(sp))
+		res.BGPsec = append(res.BGPsec, secAcct.MonthlyBytes(sp))
+		res.CoreBaseline = append(res.CoreBaseline, monitorBytes(baseRun, m))
+		res.CoreDiversity = append(res.CoreDiversity, monitorBytes(divRun, m))
+		res.IntraBaseline = append(res.IntraBaseline, monitorBytes(intraRun, m))
+	}
+	return res, nil
+}
+
+// relative returns the overhead of series relative to BGP, dropping
+// monitors where the series has no measurement.
+func (r *Fig5Result) relative(series []float64) []float64 {
+	var out []float64
+	for i, v := range series {
+		if math.IsNaN(v) || r.BGP[i] <= 0 {
+			continue
+		}
+		out = append(out, v/r.BGP[i])
+	}
+	return out
+}
+
+// Series returns the Figure 5 curves: overhead relative to BGP.
+func (r *Fig5Result) Series() []metrics.Series {
+	return []metrics.Series{
+		{Name: "BGPsec/BGP", CDF: metrics.NewCDF(r.relative(r.BGPsec))},
+		{Name: "SCION core base/BGP", CDF: metrics.NewCDF(r.relative(r.CoreBaseline))},
+		{Name: "SCION core div/BGP", CDF: metrics.NewCDF(r.relative(r.CoreDiversity))},
+		{Name: "SCION intra/BGP", CDF: metrics.NewCDF(r.relative(r.IntraBaseline))},
+	}
+}
+
+// Print renders the figure as quantile tables plus the paper's headline
+// order-of-magnitude comparisons (§5.2).
+func (r *Fig5Result) Print(w io.Writer) {
+	metrics.FprintCDFs(w, "Figure 5: monthly control-plane overhead relative to BGP (per monitor)", r.Series())
+	med := func(xs []float64) float64 { return metrics.NewCDF(r.relative(xs)).Median() }
+	baseMed, divMed := med(r.CoreBaseline), med(r.CoreDiversity)
+	fmt.Fprintf(w, "\nheadline ratios (median monitor):\n")
+	fmt.Fprintf(w, "  BGPsec vs BGP:                 %.2fx (paper: ~1 order of magnitude above)\n", med(r.BGPsec))
+	fmt.Fprintf(w, "  core baseline vs BGP:          %.2fx (paper: slightly above BGPsec)\n", baseMed)
+	fmt.Fprintf(w, "  core diversity vs BGP:         %.3fx (paper: ~1 order of magnitude below)\n", divMed)
+	fmt.Fprintf(w, "  core diversity vs baseline:    %.1f orders of magnitude lower (paper: >2)\n",
+		metrics.OrderOfMagnitude(baseMed, divMed))
+	fmt.Fprintf(w, "  intra-ISD vs BGP:              %.4fx (paper: ~2 orders of magnitude below)\n", med(r.IntraBaseline))
+}

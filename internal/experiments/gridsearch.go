@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"scionmpr/internal/core"
+	"scionmpr/internal/graphalg"
+)
+
+// GridSearchResult is the outcome of the §4.2 parameter search.
+type GridSearchResult struct {
+	Best        core.Params
+	Score       float64
+	Evaluations int
+}
+
+// GridObjective builds the search objective on a given environment: mean
+// fraction of optimal path quality achieved, minus OverheadWeight times
+// the beaconing bytes normalized by the baseline algorithm's bytes. This
+// realizes the paper's tuning goal — keep the three Equation 1–3
+// objectives satisfied while minimizing communication.
+func GridObjective(e *env, s Scale, overheadWeight float64) (core.Objective, error) {
+	pairs := e.samplePairs()
+	opt := make([]float64, len(pairs))
+	for i, p := range pairs {
+		opt[i] = float64(graphalg.OptimalFlow(e.core, p[0], p[1]))
+	}
+	baseRun, err := e.runCore(core.NewBaseline(s.DissemLimit), s.StoreLimit)
+	if err != nil {
+		return nil, err
+	}
+	baseBytes := float64(baseRun.TotalOverheadBytes())
+	if baseBytes <= 0 {
+		baseBytes = 1
+	}
+	return func(p core.Params) float64 {
+		run, err := e.runCore(core.NewDiversity(p), s.StoreLimit)
+		if err != nil {
+			return -1e18
+		}
+		quality := 0.0
+		n := 0
+		for i, pr := range pairs {
+			if opt[i] <= 0 {
+				continue
+			}
+			quality += float64(run.Quality(pr[0], pr[1])) / opt[i]
+			n++
+		}
+		if n > 0 {
+			quality /= float64(n)
+		}
+		overhead := float64(run.TotalOverheadBytes()) / baseBytes
+		return quality - overheadWeight*overhead
+	}, nil
+}
+
+// RunGridSearch performs a grid search over the given space on the
+// scale's core topology.
+func RunGridSearch(s Scale, space core.SearchSpace, overheadWeight float64) (*GridSearchResult, error) {
+	e, err := newEnv(s)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := GridObjective(e, s, overheadWeight)
+	if err != nil {
+		return nil, err
+	}
+	best, score := core.GridSearch(core.DefaultParams(s.DissemLimit), space, obj)
+	return &GridSearchResult{Best: best, Score: score, Evaluations: space.Size()}, nil
+}
+
+// Print renders the search outcome.
+func (r *GridSearchResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "== Grid search (paper §4.2 methodology) ==\n")
+	fmt.Fprintf(w, "evaluations: %d\n", r.Evaluations)
+	fmt.Fprintf(w, "best parameters: alpha=%.3g beta=%.3g gamma=%.3g threshold=%.3g (score %.4f)\n",
+		r.Best.Alpha, r.Best.Beta, r.Best.Gamma, r.Best.ScoreThreshold, r.Score)
+}

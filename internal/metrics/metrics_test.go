@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Len() != 4 {
+		t.Fatal("len")
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %v", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 || c.Median() != 2 {
+		t.Errorf("min/max/median = %v/%v/%v", c.Min(), c.Max(), c.Median())
+	}
+	if c.Mean() != 2.5 {
+		t.Errorf("mean = %v", c.Mean())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Error("empty At")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Error("empty quantile/mean must be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if gm := GeoMean([]float64{1, 100}); math.Abs(gm-10) > 1e-9 {
+		t.Errorf("geomean = %v", gm)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty geomean must be NaN")
+	}
+	if gm := GeoMean([]float64{0, 100}); gm <= 0 {
+		t.Error("zero-clamped geomean must stay positive")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	r := Relative([]float64{10, 20, 5}, []float64{2, 0, 10})
+	if r[0] != 5 || !math.IsInf(r[1], 1) || r[2] != 0.5 {
+		t.Errorf("relative = %v", r)
+	}
+	if got := Relative([]float64{1, 2, 3}, []float64{1}); len(got) != 1 {
+		t.Error("length mismatch not truncated")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	got := Floats([]uint64{1, 2, 3})
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("floats = %v", got)
+	}
+}
+
+func TestFprintCDFs(t *testing.T) {
+	var sb strings.Builder
+	FprintCDFs(&sb, "demo", []Series{
+		{Name: "a", CDF: NewCDF([]float64{1, 2, 3})},
+		{Name: "a-very-long-series-name-overflow", CDF: NewCDF([]float64{1e9, 2e9})},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "p50") {
+		t.Errorf("output missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "e+09") {
+		t.Error("large values must use scientific notation")
+	}
+	var empty strings.Builder
+	FprintCDFs(&empty, "none", nil)
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty series output")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := &Table{
+		Header: []string{"component", "scope", "frequency"},
+		Rows: [][]string{
+			{"core beaconing", "global", "minutes"},
+			{"lookup", "AS", "seconds"},
+		},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "core beaconing") || !strings.Contains(out, "---") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table lines = %d", len(lines))
+	}
+}
+
+func TestOrderOfMagnitude(t *testing.T) {
+	if om := OrderOfMagnitude(1000, 10); math.Abs(om-2) > 1e-9 {
+		t.Errorf("oom = %v", om)
+	}
+	if !math.IsNaN(OrderOfMagnitude(0, 1)) {
+		t.Error("zero input must be NaN")
+	}
+}
+
+func TestFprintHistogram(t *testing.T) {
+	var sb strings.Builder
+	FprintHistogram(&sb, "bw", []float64{1, 2, 2, 3, 10}, 3)
+	out := sb.String()
+	if !strings.Contains(out, "bw") || !strings.Contains(out, "#") {
+		t.Errorf("histogram output:\n%s", out)
+	}
+	var empty strings.Builder
+	FprintHistogram(&empty, "none", nil, 3)
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty histogram output")
+	}
+	var flat strings.Builder
+	FprintHistogram(&flat, "flat", []float64{5, 5, 5}, 3)
+	if !strings.Contains(flat.String(), "all 3 samples") {
+		t.Error("degenerate histogram output")
+	}
+}

@@ -1,0 +1,119 @@
+package pathdb
+
+import (
+	"math"
+	"math/rand"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+type cacheKey struct {
+	typ SegType
+	dst addr.IA
+}
+
+type cacheEntry struct {
+	segs    []*seg.PCB
+	expires sim.Time
+}
+
+// Cache is a TTL cache for lookup replies. Caching makes down- and
+// core-segment lookups cheap in practice because SCION paths live for
+// hours and destination popularity is Zipf distributed (paper §4.1).
+type Cache struct {
+	ttl     sim.Time
+	entries map[cacheKey]cacheEntry
+	// Hits and Misses are cumulative statistics.
+	Hits, Misses uint64
+}
+
+// NewCache creates a cache; ttl <= 0 disables caching.
+func NewCache(ttl sim.Time) *Cache {
+	return &Cache{ttl: ttl, entries: map[cacheKey]cacheEntry{}}
+}
+
+// Get returns a cached reply if fresh.
+func (c *Cache) Get(now sim.Time, k cacheKey) ([]*seg.PCB, bool) {
+	if c.ttl <= 0 {
+		c.Misses++
+		return nil, false
+	}
+	e, ok := c.entries[k]
+	if !ok || now >= e.expires {
+		delete(c.entries, k)
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	return e.segs, true
+}
+
+// Put stores a reply.
+func (c *Cache) Put(now sim.Time, k cacheKey, segs []*seg.PCB) {
+	if c.ttl <= 0 {
+		return
+	}
+	c.entries[k] = cacheEntry{segs: segs, expires: now + c.ttl}
+}
+
+// Flush empties the cache (after revocations).
+func (c *Cache) Flush() { c.entries = map[cacheKey]cacheEntry{} }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// ZipfWorkload draws destination ASes with Zipf-distributed popularity,
+// modelling the Internet traffic destination skew that makes path-server
+// caching effective (paper §4.1, citing prefix top lists).
+type ZipfWorkload struct {
+	dsts []addr.IA
+	zipf *rand.Zipf
+}
+
+// NewZipfWorkload builds a workload over dsts with Zipf exponent s > 1
+// and deterministic seed.
+func NewZipfWorkload(dsts []addr.IA, s float64, seed int64) *ZipfWorkload {
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := uint64(len(dsts))
+	if n == 0 {
+		n = 1
+	}
+	return &ZipfWorkload{
+		dsts: dsts,
+		zipf: rand.NewZipf(rng, s, 1, n-1),
+	}
+}
+
+// Next returns the next destination.
+func (w *ZipfWorkload) Next() addr.IA {
+	if len(w.dsts) == 0 {
+		return addr.IA{}
+	}
+	return w.dsts[int(w.zipf.Uint64())%len(w.dsts)]
+}
+
+// ExpectedHitRate estimates the asymptotic cache hit rate of a Zipf(s)
+// workload over n destinations with a cache holding the c most popular
+// entries — used by the Table 1 experiment to report lookup scalability.
+func ExpectedHitRate(n, c int, s float64) float64 {
+	if n <= 0 || c <= 0 {
+		return 0
+	}
+	if c >= n {
+		return 1
+	}
+	total, top := 0.0, 0.0
+	for i := 1; i <= n; i++ {
+		p := 1 / math.Pow(float64(i), s)
+		total += p
+		if i <= c {
+			top += p
+		}
+	}
+	return top / total
+}

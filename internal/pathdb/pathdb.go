@@ -1,0 +1,273 @@
+// Package pathdb implements the SCION path-server infrastructure: path
+// segment registration and de-registration by leaf ASes, the core path
+// servers that store intra-ISD down-segments and core-segments, local
+// path servers answering endpoint lookups, TTL-based caching, and path
+// revocation (paper §2.2 "Path Segment Dissemination" and §4.1).
+//
+// The package works directly on seg.PCB values; lookups are synchronous
+// function calls with exact request/reply wire sizes so the Table 1
+// scope/frequency analysis can account for them.
+package pathdb
+
+import (
+	"fmt"
+	"sort"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// SegType classifies a registered path segment.
+type SegType int
+
+const (
+	// Up segments lead from a leaf AS to a core AS of its ISD.
+	Up SegType = iota
+	// Down segments lead from a core AS to a leaf AS (an up-segment
+	// reversed; the wire representation is identical).
+	Down
+	// Core segments connect two core ASes.
+	Core
+)
+
+func (t SegType) String() string {
+	switch t {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Core:
+		return "core"
+	}
+	return fmt.Sprintf("segtype(%d)", int(t))
+}
+
+// Request is a path segment lookup, sized per the SCION segment request
+// wire format (destination IA plus type and flags).
+type Request struct {
+	Type SegType
+	Dst  addr.IA
+}
+
+// WireLen implements sim.Message.
+func (r Request) WireLen() int { return 1 + 8 + 3 }
+
+// Reply carries the answered segments.
+type Reply struct {
+	Segments []*seg.PCB
+}
+
+// WireLen implements sim.Message.
+func (r Reply) WireLen() int {
+	n := 2
+	for _, s := range r.Segments {
+		n += s.WireLen()
+	}
+	return n
+}
+
+// Server is one AS's path server. A core AS's path server additionally
+// stores the down-segments registered by the leaf ASes of its ISD and the
+// core-segments to reach other core ASes (paper §2.2).
+type Server struct {
+	Local addr.IA
+	Core  bool
+
+	// down[dst] are registered down-segments reaching leaf AS dst
+	// (stored at core path servers of dst's ISD).
+	down map[addr.IA][]*seg.PCB
+	// core[dst] are core-segments reaching core AS dst.
+	core map[addr.IA][]*seg.PCB
+	// up are the local AS's own up-segments (local path server role).
+	up []*seg.PCB
+
+	cache *Cache
+
+	// Stats for the Table 1 experiment.
+	Registrations, Deregistrations, Lookups, CacheHits, Revocations uint64
+}
+
+// NewServer creates a path server for an AS.
+func NewServer(local addr.IA, isCore bool, cacheTTL sim.Time) *Server {
+	return &Server{
+		Local: local,
+		Core:  isCore,
+		down:  map[addr.IA][]*seg.PCB{},
+		core:  map[addr.IA][]*seg.PCB{},
+		up:    nil,
+		cache: NewCache(cacheTTL),
+	}
+}
+
+// RegisterDown records a down-segment for the leaf AS at the end of the
+// segment. Only core path servers accept registrations (paper: leaf ASes
+// register at the core path server of their ISD). Duplicate paths update
+// in place (re-registration refreshes expiry).
+func (s *Server) RegisterDown(now sim.Time, segment *seg.PCB) error {
+	if !s.Core {
+		return fmt.Errorf("pathdb: %s is not a core path server", s.Local)
+	}
+	if segment.Expired(now) {
+		return fmt.Errorf("pathdb: registering expired segment %v", segment)
+	}
+	dst := segment.Leaf()
+	s.Registrations++
+	s.down[dst] = upsert(s.down[dst], segment)
+	return nil
+}
+
+// RegisterCore records a core-segment reaching its leaf (final) core AS.
+func (s *Server) RegisterCore(now sim.Time, segment *seg.PCB) error {
+	if !s.Core {
+		return fmt.Errorf("pathdb: %s is not a core path server", s.Local)
+	}
+	if segment.Expired(now) {
+		return fmt.Errorf("pathdb: registering expired segment %v", segment)
+	}
+	s.Registrations++
+	// Core segments are looked up by origin: a path server asking "how do
+	// I reach core AS X" wants segments originated at X (traversed in
+	// reverse) or ending at X. We key by the far end (origin).
+	s.core[segment.Origin()] = upsert(s.core[segment.Origin()], segment)
+	return nil
+}
+
+// RegisterUp records one of the local AS's own up-segments.
+func (s *Server) RegisterUp(now sim.Time, segment *seg.PCB) error {
+	if segment.Expired(now) {
+		return fmt.Errorf("pathdb: registering expired segment %v", segment)
+	}
+	s.Registrations++
+	s.up = upsert(s.up, segment)
+	return nil
+}
+
+func upsert(list []*seg.PCB, segment *seg.PCB) []*seg.PCB {
+	key := segment.HopsKey()
+	for i, old := range list {
+		if old.HopsKey() == key {
+			if segment.Info.Expiry > old.Info.Expiry {
+				list[i] = segment
+			}
+			return list
+		}
+	}
+	return append(list, segment)
+}
+
+// Deregister removes a previously registered down-segment by its path
+// identity (paper: path de-registration, an intra-ISD operation).
+func (s *Server) Deregister(segment *seg.PCB) bool {
+	dst := segment.Leaf()
+	key := segment.HopsKey()
+	list := s.down[dst]
+	for i, old := range list {
+		if old.HopsKey() == key {
+			s.down[dst] = append(list[:i], list[i+1:]...)
+			s.Deregistrations++
+			return true
+		}
+	}
+	return false
+}
+
+// LookupDown answers a down-segment query for a leaf AS, serving from the
+// TTL cache first (paper: caching is effective due to multi-hour path
+// lifetimes and the Zipf distribution of destinations).
+func (s *Server) LookupDown(now sim.Time, dst addr.IA) []*seg.PCB {
+	s.Lookups++
+	if segs, ok := s.cache.Get(now, cacheKey{typ: Down, dst: dst}); ok {
+		s.CacheHits++
+		return segs
+	}
+	segs := valid(now, s.down[dst])
+	s.cache.Put(now, cacheKey{typ: Down, dst: dst}, segs)
+	return segs
+}
+
+// LookupCore answers a core-segment query for a core AS.
+func (s *Server) LookupCore(now sim.Time, dst addr.IA) []*seg.PCB {
+	s.Lookups++
+	if segs, ok := s.cache.Get(now, cacheKey{typ: Core, dst: dst}); ok {
+		s.CacheHits++
+		return segs
+	}
+	segs := valid(now, s.core[dst])
+	s.cache.Put(now, cacheKey{typ: Core, dst: dst}, segs)
+	return segs
+}
+
+// LookupUp answers an endpoint's up-segment query (an intra-AS operation,
+// paper §4.1 "Endpoint Path Lookup").
+func (s *Server) LookupUp(now sim.Time) []*seg.PCB {
+	s.Lookups++
+	return valid(now, s.up)
+}
+
+func valid(now sim.Time, in []*seg.PCB) []*seg.PCB {
+	var out []*seg.PCB
+	for _, p := range in {
+		if !p.Expired(now) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NumHops() != out[j].NumHops() {
+			return out[i].NumHops() < out[j].NumHops()
+		}
+		return out[i].HopsKey() < out[j].HopsKey()
+	})
+	return out
+}
+
+// Revoke removes every stored segment (down, core, up) containing the
+// given link and flushes the cache; it returns the number of segments
+// dropped. This models the intra-ISD revocation reaction of paper §4.1.
+func (s *Server) Revoke(link seg.LinkKey) int {
+	dropped := 0
+	filter := func(list []*seg.PCB) []*seg.PCB {
+		var out []*seg.PCB
+		for _, p := range list {
+			if containsLink(p, link) {
+				dropped++
+				continue
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	for dst := range s.down {
+		s.down[dst] = filter(s.down[dst])
+	}
+	for dst := range s.core {
+		s.core[dst] = filter(s.core[dst])
+	}
+	s.up = filter(s.up)
+	s.cache.Flush()
+	if dropped > 0 {
+		s.Revocations++
+	}
+	return dropped
+}
+
+func containsLink(p *seg.PCB, link seg.LinkKey) bool {
+	for _, lk := range p.Links() {
+		if lk == link {
+			return true
+		}
+	}
+	return false
+}
+
+// DownDestinations lists leaf ASes with registered down-segments.
+func (s *Server) DownDestinations() []addr.IA {
+	out := make([]addr.IA, 0, len(s.down))
+	for ia, list := range s.down {
+		if len(list) > 0 {
+			out = append(out, ia)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

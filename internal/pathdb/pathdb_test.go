@@ -1,0 +1,231 @@
+package pathdb
+
+import (
+	"testing"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/trust"
+)
+
+const hour = sim.Time(time.Hour)
+
+type fakeSigner struct{ ia addr.IA }
+
+func (f fakeSigner) IA() addr.IA                 { return f.ia }
+func (f fakeSigner) Sign([]byte) ([]byte, error) { return make([]byte, trust.SignatureLen), nil }
+
+func mkSeg(t *testing.T, origin addr.IA, ts sim.Time, hops ...uint64) *seg.PCB {
+	t.Helper()
+	p := seg.NewPCB(origin, 1, ts, 6*hour)
+	var err error
+	for i, h := range hops {
+		egress := addr.IfID(2)
+		if i == len(hops)-1 {
+			egress = 0 // terminated
+		}
+		ingress := addr.IfID(1)
+		if i == 0 {
+			ingress = 0
+		}
+		p, err = p.Extend(fakeSigner{ia: addr.MustIA(1, addr.AS(h))}, addr.IA{}, ingress, egress, nil, 1472)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+var (
+	core1 = addr.MustIA(1, 10)
+	leafA = addr.MustIA(1, 30)
+)
+
+func TestRegisterAndLookupDown(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	sg := mkSeg(t, core1, 0, 10, 20, 30)
+	if err := s.RegisterDown(0, sg); err != nil {
+		t.Fatal(err)
+	}
+	got := s.LookupDown(0, leafA)
+	if len(got) != 1 {
+		t.Fatalf("lookup = %d segments", len(got))
+	}
+	if got[0].Leaf() != leafA {
+		t.Errorf("leaf = %v", got[0].Leaf())
+	}
+	if dsts := s.DownDestinations(); len(dsts) != 1 || dsts[0] != leafA {
+		t.Errorf("destinations = %v", dsts)
+	}
+}
+
+func TestRegisterDownRequiresCore(t *testing.T) {
+	s := NewServer(leafA, false, hour)
+	if err := s.RegisterDown(0, mkSeg(t, core1, 0, 10, 30)); err == nil {
+		t.Error("non-core server accepted registration")
+	}
+}
+
+func TestRegisterExpiredRejected(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	sg := mkSeg(t, core1, 0, 10, 30)
+	if err := s.RegisterDown(7*hour, sg); err == nil {
+		t.Error("expired segment registered")
+	}
+	if err := s.RegisterCore(7*hour, sg); err == nil {
+		t.Error("expired core segment registered")
+	}
+	if err := s.RegisterUp(7*hour, sg); err == nil {
+		t.Error("expired up segment registered")
+	}
+}
+
+func TestReregistrationRefreshes(t *testing.T) {
+	s := NewServer(core1, true, 0) // no cache, direct view
+	old := mkSeg(t, core1, 0, 10, 20, 30)
+	if err := s.RegisterDown(0, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mkSeg(t, core1, 2*hour, 10, 20, 30)
+	if err := s.RegisterDown(2*hour, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got := s.LookupDown(2*hour, leafA)
+	if len(got) != 1 {
+		t.Fatalf("re-registration duplicated: %d", len(got))
+	}
+	if got[0].Info.Expiry != fresh.Info.Expiry {
+		t.Error("re-registration did not refresh expiry")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	s := NewServer(core1, true, 0)
+	sg := mkSeg(t, core1, 0, 10, 20, 30)
+	s.RegisterDown(0, sg)
+	if !s.Deregister(sg) {
+		t.Fatal("deregister failed")
+	}
+	if s.Deregister(sg) {
+		t.Error("double deregister succeeded")
+	}
+	if got := s.LookupDown(0, leafA); len(got) != 0 {
+		t.Errorf("segments after deregister: %d", len(got))
+	}
+}
+
+func TestLookupFiltersExpired(t *testing.T) {
+	s := NewServer(core1, true, 0)
+	s.RegisterDown(0, mkSeg(t, core1, 0, 10, 20, 30))
+	if got := s.LookupDown(7*hour, leafA); len(got) != 0 {
+		t.Error("expired segment served")
+	}
+}
+
+func TestLookupCoreAndUp(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	cs := mkSeg(t, addr.MustIA(2, 99), 0, 99, 10)
+	if err := s.RegisterCore(0, cs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LookupCore(0, addr.MustIA(2, 99)); len(got) != 1 {
+		t.Fatalf("core lookup = %d", len(got))
+	}
+	local := NewServer(leafA, false, hour)
+	up := mkSeg(t, core1, 0, 10, 20, 30)
+	if err := local.RegisterUp(0, up); err != nil {
+		t.Fatal(err)
+	}
+	if got := local.LookupUp(0); len(got) != 1 {
+		t.Fatalf("up lookup = %d", len(got))
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	s.RegisterDown(0, mkSeg(t, core1, 0, 10, 20, 30))
+	s.LookupDown(0, leafA)                        // miss, fills cache
+	s.LookupDown(30*sim.Time(time.Minute), leafA) // hit
+	if s.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", s.CacheHits)
+	}
+	// After TTL the entry expires.
+	s.LookupDown(3*hour, leafA)
+	if s.CacheHits != 1 {
+		t.Errorf("cache hits after TTL = %d, want still 1", s.CacheHits)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	affected := mkSeg(t, core1, 0, 10, 20, 30)
+	clean := mkSeg(t, core1, 0, 10, 40, 30)
+	s.RegisterDown(0, affected)
+	s.RegisterDown(0, clean)
+	s.LookupDown(0, leafA) // warm cache
+
+	// Revoke the link 1-20#2 (AS 20's egress), only on 'affected'.
+	dropped := s.Revoke(seg.LinkKey{IA: addr.MustIA(1, 20), If: 2})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	got := s.LookupDown(0, leafA)
+	if len(got) != 1 || got[0].HopsKey() != clean.HopsKey() {
+		t.Errorf("post-revocation lookup = %v", got)
+	}
+	if s.Revocations != 1 {
+		t.Errorf("revocations = %d", s.Revocations)
+	}
+	// Revoking an unknown link drops nothing.
+	if n := s.Revoke(seg.LinkKey{IA: addr.MustIA(9, 9), If: 1}); n != 0 {
+		t.Errorf("bogus revoke dropped %d", n)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	if _, ok := c.Get(0, cacheKey{typ: Down, dst: leafA}); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	c.Put(0, cacheKey{typ: Down, dst: leafA}, nil)
+	if c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestZipfWorkload(t *testing.T) {
+	dsts := make([]addr.IA, 100)
+	for i := range dsts {
+		dsts[i] = addr.MustIA(1, addr.AS(i+1))
+	}
+	w := NewZipfWorkload(dsts, 1.2, 42)
+	counts := map[addr.IA]int{}
+	for i := 0; i < 5000; i++ {
+		counts[w.Next()]++
+	}
+	// The most popular destination must dominate the tail.
+	if counts[dsts[0]] < 10*counts[dsts[99]]+1 {
+		t.Errorf("Zipf skew too weak: head=%d tail=%d", counts[dsts[0]], counts[dsts[99]])
+	}
+	// Empty workload is safe.
+	empty := NewZipfWorkload(nil, 1.2, 1)
+	if !empty.Next().IsZero() {
+		t.Error("empty workload must return zero IA")
+	}
+}
+
+func TestExpectedHitRate(t *testing.T) {
+	if hr := ExpectedHitRate(1000, 1000, 1.2); hr != 1 {
+		t.Errorf("full cache hit rate = %v", hr)
+	}
+	if hr := ExpectedHitRate(1000, 0, 1.2); hr != 0 {
+		t.Errorf("no cache hit rate = %v", hr)
+	}
+	small := ExpectedHitRate(1000, 10, 1.2)
+	big := ExpectedHitRate(1000, 100, 1.2)
+	if !(0 < small && small < big && big < 1) {
+		t.Errorf("hit rate monotonicity broken: %v vs %v", small, big)
+	}
+}

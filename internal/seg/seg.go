@@ -1,0 +1,454 @@
+// Package seg defines Path-segment Construction Beacons (PCBs) and the
+// path segments they become. A PCB is initiated by a core AS and extended
+// hop by hop: each AS appends an AS entry carrying its identity, the
+// ingress and egress interface identifiers of the traversed inter-domain
+// link, optional peering entries, an expiration, and a signature over the
+// accumulated beacon (paper §2.2).
+//
+// Wire sizes are exact: every type has a WireLen that matches the length
+// of its binary encoding, because the paper's scalability results are
+// byte-level overhead comparisons (§5.2, ECDSA-384 signatures assumed).
+package seg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/trust"
+)
+
+// MACLen is the length of a hop field MAC (SCION uses 6 bytes).
+const MACLen = 6
+
+// HopField encodes which interfaces may be used to enter and leave an AS,
+// protected by a MAC chained over the previous hop (packet-carried
+// forwarding state, paper §2.3).
+type HopField struct {
+	ConsIngress addr.IfID // 0 at the origin core AS
+	ConsEgress  addr.IfID // 0 at a terminating leaf entry
+	ExpTime     uint8     // coarse relative expiration units
+	MAC         [MACLen]byte
+}
+
+const hopFieldLen = 2 + 2 + 1 + MACLen
+
+// PeerEntry advertises a peering link of the local AS so that up- and
+// down-segments can be joined over it (valley-free peering shortcuts).
+type PeerEntry struct {
+	Peer    addr.IA
+	PeerIf  addr.IfID // interface on the peer's side
+	LocalIf addr.IfID // local interface to the peer
+	HopMAC  [MACLen]byte
+}
+
+const peerEntryLen = 8 + 2 + 2 + MACLen
+
+// ASEntry is one hop of a PCB.
+type ASEntry struct {
+	Local addr.IA
+	// Next is the AS this entry's egress interface leads to; zero in a
+	// terminated segment's last entry.
+	Next      addr.IA
+	Hop       HopField
+	Peers     []PeerEntry
+	MTU       uint16
+	Signature []byte
+}
+
+func (e *ASEntry) wireLen() int {
+	return 8 + 8 + hopFieldLen + 2 + 1 + len(e.Peers)*peerEntryLen + len(e.Signature)
+}
+
+// InfoField carries the PCB's identity and validity window.
+type InfoField struct {
+	SegID     uint16
+	Origin    addr.IA
+	Timestamp sim.Time // initiation time
+	Expiry    sim.Time // expiration time set by the origin
+}
+
+const infoFieldLen = 2 + 8 + 8 + 8
+
+// PCB is a path-segment construction beacon (and, once registered, a path
+// segment — up- and down-segments are the same object read in opposite
+// directions, paper §2.2).
+//
+// A PCB is immutable once built: Extend returns a new beacon. The cached
+// hop key and link list exploit that; code that mutates ASEntries in
+// place (tests only) must not rely on them afterwards.
+type PCB struct {
+	Info      InfoField
+	ASEntries []ASEntry
+
+	hopsKey string
+	links   []LinkKey
+}
+
+// NewPCB initiates a beacon at a core AS with the given validity window.
+func NewPCB(origin addr.IA, segID uint16, now sim.Time, lifetime sim.Time) *PCB {
+	return &PCB{Info: InfoField{
+		SegID:     segID,
+		Origin:    origin,
+		Timestamp: now,
+		Expiry:    now + lifetime,
+	}}
+}
+
+// Clone deep-copies the PCB so each neighbor propagation can extend its
+// own copy.
+func (p *PCB) Clone() *PCB {
+	c := &PCB{Info: p.Info, ASEntries: make([]ASEntry, len(p.ASEntries)),
+		hopsKey: p.hopsKey, links: p.links}
+	copy(c.ASEntries, p.ASEntries)
+	for i := range c.ASEntries {
+		if p.ASEntries[i].Peers != nil {
+			c.ASEntries[i].Peers = append([]PeerEntry(nil), p.ASEntries[i].Peers...)
+		}
+		if p.ASEntries[i].Signature != nil {
+			c.ASEntries[i].Signature = append([]byte(nil), p.ASEntries[i].Signature...)
+		}
+	}
+	return c
+}
+
+// WireLen is the exact encoded size in bytes.
+func (p *PCB) WireLen() int {
+	n := infoFieldLen + 1
+	for i := range p.ASEntries {
+		n += p.ASEntries[i].wireLen()
+	}
+	return n
+}
+
+// Encode serializes the PCB. The layout is fixed-width fields in
+// big-endian order; Decode inverts it.
+func (p *PCB) Encode() []byte {
+	buf := make([]byte, 0, p.WireLen())
+	var tmp [8]byte
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put16(p.Info.SegID)
+	put64(p.Info.Origin.Uint64())
+	put64(uint64(p.Info.Timestamp))
+	put64(uint64(p.Info.Expiry))
+	buf = append(buf, byte(len(p.ASEntries)))
+	for i := range p.ASEntries {
+		e := &p.ASEntries[i]
+		put64(e.Local.Uint64())
+		put64(e.Next.Uint64())
+		put16(uint16(e.Hop.ConsIngress))
+		put16(uint16(e.Hop.ConsEgress))
+		buf = append(buf, e.Hop.ExpTime)
+		buf = append(buf, e.Hop.MAC[:]...)
+		put16(e.MTU)
+		buf = append(buf, byte(len(e.Peers)))
+		for _, pe := range e.Peers {
+			put64(pe.Peer.Uint64())
+			put16(uint16(pe.PeerIf))
+			put16(uint16(pe.LocalIf))
+			buf = append(buf, pe.HopMAC[:]...)
+		}
+		buf = append(buf, e.Signature...)
+	}
+	return buf
+}
+
+// Decode parses a PCB encoded by Encode. Signatures are assumed to be
+// trust.SignatureLen bytes when present; entries written without a
+// signature cannot be distinguished on the wire, so Decode requires every
+// entry to be signed (which beaconing guarantees).
+func Decode(b []byte) (*PCB, error) {
+	r := &reader{b: b}
+	p := &PCB{}
+	p.Info.SegID = r.u16()
+	p.Info.Origin = addr.IAFromUint64(r.u64())
+	p.Info.Timestamp = sim.Time(r.u64())
+	p.Info.Expiry = sim.Time(r.u64())
+	n := int(r.u8())
+	for i := 0; i < n; i++ {
+		var e ASEntry
+		e.Local = addr.IAFromUint64(r.u64())
+		e.Next = addr.IAFromUint64(r.u64())
+		e.Hop.ConsIngress = addr.IfID(r.u16())
+		e.Hop.ConsEgress = addr.IfID(r.u16())
+		e.Hop.ExpTime = r.u8()
+		r.bytes(e.Hop.MAC[:])
+		e.MTU = r.u16()
+		np := int(r.u8())
+		for j := 0; j < np; j++ {
+			var pe PeerEntry
+			pe.Peer = addr.IAFromUint64(r.u64())
+			pe.PeerIf = addr.IfID(r.u16())
+			pe.LocalIf = addr.IfID(r.u16())
+			r.bytes(pe.HopMAC[:])
+			e.Peers = append(e.Peers, pe)
+		}
+		e.Signature = make([]byte, trust.SignatureLen)
+		r.bytes(e.Signature)
+		p.ASEntries = append(p.ASEntries, e)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("seg: decoding PCB: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("seg: decoding PCB: %d trailing bytes", len(b)-r.off)
+	}
+	return p, nil
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.b))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) bytes(dst []byte) {
+	b := r.take(len(dst))
+	if b != nil {
+		copy(dst, b)
+	}
+}
+
+// signBody returns the byte string an AS entry's signature covers: the
+// info field, all previous signed entries, and the new entry without its
+// signature — so every hop authenticates the full upstream beacon.
+func (p *PCB) signBody(e *ASEntry) []byte {
+	tmp := &PCB{Info: p.Info, ASEntries: append(append([]ASEntry{}, p.ASEntries...), ASEntry{
+		Local: e.Local, Next: e.Next, Hop: e.Hop, Peers: e.Peers, MTU: e.MTU,
+	})}
+	return tmp.Encode()
+}
+
+// Extend appends a signed AS entry and returns the extended beacon (the
+// receiver is not modified). ingress is 0 when local is the origin.
+func (p *PCB) Extend(signer trust.Signer, next addr.IA, ingress, egress addr.IfID, peers []PeerEntry, mtu uint16) (*PCB, error) {
+	e := ASEntry{
+		Local: signer.IA(),
+		Next:  next,
+		Hop:   HopField{ConsIngress: ingress, ConsEgress: egress, ExpTime: 63},
+		Peers: peers,
+		MTU:   mtu,
+	}
+	// The hop MAC chains over the previous hop's MAC and the interfaces.
+	var prev [MACLen]byte
+	if n := len(p.ASEntries); n > 0 {
+		prev = p.ASEntries[n-1].Hop.MAC
+	}
+	e.Hop.MAC = chainMAC(prev, e.Local, ingress, egress)
+
+	body := p.signBody(&e)
+	sig, err := signer.Sign(body)
+	if err != nil {
+		return nil, fmt.Errorf("seg: extending PCB at %s: %w", signer.IA(), err)
+	}
+	e.Signature = sig
+	out := p.Clone()
+	out.ASEntries = append(out.ASEntries, e)
+	out.hopsKey = ""
+	out.links = nil
+	return out, nil
+}
+
+// chainMAC derives a hop MAC deterministically; the dataplane package
+// recomputes and checks it during forwarding.
+func chainMAC(prev [MACLen]byte, ia addr.IA, in, out addr.IfID) [MACLen]byte {
+	var buf [8 + MACLen + 4]byte
+	binary.BigEndian.PutUint64(buf[:8], ia.Uint64())
+	copy(buf[8:], prev[:])
+	binary.BigEndian.PutUint16(buf[8+MACLen:], uint16(in))
+	binary.BigEndian.PutUint16(buf[8+MACLen+2:], uint16(out))
+	var mac [MACLen]byte
+	// FNV-1a folded into 6 bytes: cheap, deterministic, collision-
+	// resistant enough for simulation-scale integrity checks.
+	var h uint64 = 14695981039346656037
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < MACLen; i++ {
+		mac[i] = byte(h >> (8 * i))
+	}
+	return mac
+}
+
+// Verify checks all AS entry signatures against v.
+func (p *PCB) Verify(v trust.Verifier) error {
+	tmp := &PCB{Info: p.Info}
+	for i := range p.ASEntries {
+		e := p.ASEntries[i]
+		body := tmp.signBody(&e)
+		if err := v.Verify(e.Local, body, e.Signature); err != nil {
+			return fmt.Errorf("seg: entry %d (%s): %w", i, e.Local, err)
+		}
+		tmp.ASEntries = append(tmp.ASEntries, e)
+	}
+	return nil
+}
+
+// Origin returns the initiating core AS.
+func (p *PCB) Origin() addr.IA { return p.Info.Origin }
+
+// Leaf returns the last AS on the beacon, or the origin for a fresh PCB.
+func (p *PCB) Leaf() addr.IA {
+	if len(p.ASEntries) == 0 {
+		return p.Info.Origin
+	}
+	return p.ASEntries[len(p.ASEntries)-1].Local
+}
+
+// Expired reports whether the beacon is past its expiration at time now.
+func (p *PCB) Expired(now sim.Time) bool { return now >= p.Info.Expiry }
+
+// Age returns how long ago the beacon was initiated.
+func (p *PCB) Age(now sim.Time) sim.Time { return now - p.Info.Timestamp }
+
+// Remaining returns the remaining lifetime (zero if expired).
+func (p *PCB) Remaining(now sim.Time) sim.Time {
+	if p.Expired(now) {
+		return 0
+	}
+	return p.Info.Expiry - now
+}
+
+// Lifetime returns the total validity window length.
+func (p *PCB) Lifetime() sim.Time { return p.Info.Expiry - p.Info.Timestamp }
+
+// LinkKey identifies one inter-domain link by its upstream endpoint
+// (every interface belongs to exactly one link, so one side suffices).
+// These keys are exactly the identifiers "already available in PCBs" that
+// the diversity algorithm counts (paper §4.2).
+type LinkKey struct {
+	IA addr.IA
+	If addr.IfID
+}
+
+func (k LinkKey) String() string { return fmt.Sprintf("%s#%s", k.IA, k.If) }
+
+// Links returns the inter-domain links traversed by the beacon, upstream
+// first, keyed by the upstream AS and its egress interface. Every entry
+// with a non-zero egress contributes one link: in a beacon in flight the
+// last entry's egress is the link the beacon was sent on (its far end is
+// the receiving AS), while a terminated segment's last entry has egress 0
+// and contributes none.
+func (p *PCB) Links() []LinkKey {
+	if p.links == nil {
+		out := make([]LinkKey, 0, len(p.ASEntries))
+		for i := range p.ASEntries {
+			if eg := p.ASEntries[i].Hop.ConsEgress; eg != 0 {
+				out = append(out, LinkKey{IA: p.ASEntries[i].Local, If: eg})
+			}
+		}
+		p.links = out
+	}
+	return p.links
+}
+
+// LinksVia returns Links plus the prospective egress link if the beacon
+// were propagated by AS local out of its interface egress — the path the
+// diversity algorithm scores before dissemination (local has not yet
+// appended its own AS entry).
+func (p *PCB) LinksVia(local addr.IA, egress addr.IfID) []LinkKey {
+	base := p.Links()
+	out := make([]LinkKey, len(base)+1)
+	copy(out, base)
+	out[len(base)] = LinkKey{IA: local, If: egress}
+	return out
+}
+
+// HopsKey is a canonical identity of the traversed path (origin plus the
+// interface-level hop sequence), used to detect "the same path" across
+// PCB re-initiations with newer timestamps.
+func (p *PCB) HopsKey() string {
+	if p.hopsKey == "" {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s", p.Info.Origin)
+		for i := range p.ASEntries {
+			e := &p.ASEntries[i]
+			fmt.Fprintf(&sb, "|%s:%d:%d", e.Local, e.Hop.ConsIngress, e.Hop.ConsEgress)
+		}
+		p.hopsKey = sb.String()
+	}
+	return p.hopsKey
+}
+
+// HopsKeyVia is HopsKey extended by a prospective egress interface.
+func (p *PCB) HopsKeyVia(egress addr.IfID) string {
+	return p.HopsKey() + "|via:" + strconv.FormatUint(uint64(egress), 10)
+}
+
+// ContainsAS reports whether ia already appears on the beacon (loop
+// prevention during propagation).
+func (p *PCB) ContainsAS(ia addr.IA) bool {
+	if p.Info.Origin == ia {
+		return true
+	}
+	for i := range p.ASEntries {
+		if p.ASEntries[i].Local == ia {
+			return true
+		}
+	}
+	return false
+}
+
+// IAs lists the ASes on the segment in beaconing order (origin first).
+func (p *PCB) IAs() []addr.IA {
+	out := make([]addr.IA, 0, len(p.ASEntries))
+	for i := range p.ASEntries {
+		out = append(out, p.ASEntries[i].Local)
+	}
+	return out
+}
+
+// NumHops returns the number of AS entries.
+func (p *PCB) NumHops() int { return len(p.ASEntries) }
+
+func (p *PCB) String() string {
+	return fmt.Sprintf("PCB{%s seg=%d hops=%v}", p.Info.Origin, p.Info.SegID, p.IAs())
+}

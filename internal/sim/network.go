@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/topology"
+)
+
+// Message is anything transported between ASes in the simulation. WireLen
+// is the size in bytes counted against the link — overhead accounting is
+// the paper's core observable, so every control-plane message type
+// implements an exact wire size.
+type Message interface {
+	WireLen() int
+}
+
+// Handler processes messages delivered to an AS. link is the inter-domain
+// link the message arrived on and from is the sending neighbor.
+type Handler interface {
+	HandleMessage(from addr.IA, link *topology.Link, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from addr.IA, link *topology.Link, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from addr.IA, link *topology.Link, msg Message) {
+	f(from, link, msg)
+}
+
+// IfKey identifies one interface of one AS for counter lookup.
+type IfKey struct {
+	IA addr.IA
+	If addr.IfID
+}
+
+// Counter accumulates traffic on one interface direction-separated.
+type Counter struct {
+	TxBytes, TxMsgs uint64
+	RxBytes, RxMsgs uint64
+}
+
+// Network binds a Simulator to a topology and transports Messages across
+// links with a fixed latency, recording per-interface counters.
+type Network struct {
+	Sim   *Simulator
+	Topo  *topology.Graph
+	Delay time.Duration
+
+	handlers map[addr.IA]Handler
+	counters map[IfKey]*Counter
+	failed   map[topology.LinkID]bool
+	// Dropped counts messages to ASes with no registered handler.
+	Dropped uint64
+	// DroppedOnFailedLinks counts messages lost to failed links.
+	DroppedOnFailedLinks uint64
+}
+
+// NewNetwork creates a network over topo with the given one-way link latency.
+func NewNetwork(s *Simulator, topo *topology.Graph, delay time.Duration) *Network {
+	return &Network{
+		Sim:      s,
+		Topo:     topo,
+		Delay:    delay,
+		handlers: map[addr.IA]Handler{},
+		counters: map[IfKey]*Counter{},
+		failed:   map[topology.LinkID]bool{},
+	}
+}
+
+// FailLink drops all future messages on the link (both directions).
+func (n *Network) FailLink(id topology.LinkID) { n.failed[id] = true }
+
+// RestoreLink clears a failure.
+func (n *Network) RestoreLink(id topology.LinkID) { delete(n.failed, id) }
+
+// LinkFailed reports whether a link is failed.
+func (n *Network) LinkFailed(id topology.LinkID) bool { return n.failed[id] }
+
+// Register installs the message handler for ia, replacing any previous one.
+func (n *Network) Register(ia addr.IA, h Handler) { n.handlers[ia] = h }
+
+// counter returns (allocating) the counter for a given interface.
+func (n *Network) counter(k IfKey) *Counter {
+	c := n.counters[k]
+	if c == nil {
+		c = &Counter{}
+		n.counters[k] = c
+	}
+	return c
+}
+
+// Send transmits msg from the local side of link (owned by from) to the
+// neighboring AS. TX is counted on from's interface immediately; RX on the
+// remote interface at delivery time. It panics if from is not an endpoint
+// of link, which would indicate a mis-wired control plane.
+func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
+	if link.A != from && link.B != from {
+		panic(fmt.Sprintf("sim: %s sending on foreign link %s", from, link))
+	}
+	if n.failed[link.ID] {
+		n.DroppedOnFailedLinks++
+		return
+	}
+	size := msg.WireLen()
+	tx := n.counter(IfKey{IA: from, If: link.LocalIf(from)})
+	tx.TxBytes += uint64(size)
+	tx.TxMsgs++
+	to := link.Other(from)
+	remoteIf := link.RemoteIf(from)
+	n.Sim.Schedule(n.Delay, func() {
+		rx := n.counter(IfKey{IA: to, If: remoteIf})
+		rx.RxBytes += uint64(size)
+		rx.RxMsgs++
+		h := n.handlers[to]
+		if h == nil {
+			n.Dropped++
+			return
+		}
+		h.HandleMessage(from, link, msg)
+	})
+}
+
+// InterfaceCounter returns a copy of the counter for one interface
+// (zero-valued if the interface never saw traffic).
+func (n *Network) InterfaceCounter(ia addr.IA, ifID addr.IfID) Counter {
+	if c := n.counters[IfKey{IA: ia, If: ifID}]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// TotalTx sums transmitted bytes over all interfaces of ia.
+func (n *Network) TotalTx(ia addr.IA) uint64 {
+	var sum uint64
+	for k, c := range n.counters {
+		if k.IA == ia {
+			sum += c.TxBytes
+		}
+	}
+	return sum
+}
+
+// TotalRx sums received bytes over all interfaces of ia.
+func (n *Network) TotalRx(ia addr.IA) uint64 {
+	var sum uint64
+	for k, c := range n.counters {
+		if k.IA == ia {
+			sum += c.RxBytes
+		}
+	}
+	return sum
+}
+
+// GrandTotalTx sums transmitted bytes over the whole network.
+func (n *Network) GrandTotalTx() uint64 {
+	var sum uint64
+	for _, c := range n.counters {
+		sum += c.TxBytes
+	}
+	return sum
+}
+
+// Interfaces returns all interface keys that saw traffic, sorted.
+func (n *Network) Interfaces() []IfKey {
+	out := make([]IfKey, 0, len(n.counters))
+	for k := range n.counters {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IA != out[j].IA {
+			return out[i].IA.Less(out[j].IA)
+		}
+		return out[i].If < out[j].If
+	})
+	return out
+}
+
+// PerInterfaceTxBytes returns the TX byte count per traffic-bearing
+// interface, in Interfaces() order. This is the Figure 9 observable.
+func (n *Network) PerInterfaceTxBytes() []uint64 {
+	keys := n.Interfaces()
+	out := make([]uint64, len(keys))
+	for i, k := range keys {
+		out[i] = n.counters[k].TxBytes
+	}
+	return out
+}
+
+// ResetCounters clears all traffic counters (e.g. after a warm-up phase).
+func (n *Network) ResetCounters() {
+	n.counters = map[IfKey]*Counter{}
+	n.Dropped = 0
+}

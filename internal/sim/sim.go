@@ -1,0 +1,138 @@
+// Package sim is a deterministic discrete-event simulator, the stand-in
+// for the paper's ns-3-based beaconing simulator. It provides a virtual
+// clock with an event heap, message delivery across topology links with
+// configurable latency, and per-interface byte and message counters — the
+// exact observables the paper's overhead evaluation needs (§5.1, §5.2:
+// "we observe the amount of PCB traffic sent on each inter-domain
+// interface").
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time measured as a duration since simulation
+// start.
+type Time time.Duration
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator owns the virtual clock and the pending event set. The zero
+// value is ready to use.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Executed counts processed events, useful for run-away detection in
+	// tests and experiment logs.
+	Executed uint64
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Schedule queues fn to run after delay d. Negative delays run "now"
+// (still in timestamp order with other now-events).
+func (s *Simulator) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+Time(d), fn)
+}
+
+// At queues fn at absolute virtual time t. Scheduling in the past is an
+// error that would break causality; it panics to surface the bug.
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// Every schedules fn at start and then every interval until the simulator
+// stops or the end time passes (end <= 0 means no end). fn also receives
+// the firing time.
+func (s *Simulator) Every(start, interval time.Duration, end Time, fn func(Time)) {
+	var tick func()
+	next := s.now + Time(start)
+	tick = func() {
+		if s.stopped || (end > 0 && s.now > end) {
+			return
+		}
+		fn(s.now)
+		next = s.now + Time(interval)
+		if end > 0 && next > end {
+			return
+		}
+		s.At(next, tick)
+	}
+	if end > 0 && next > end {
+		return
+	}
+	s.At(next, tick)
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the final virtual time.
+func (s *Simulator) Run() Time {
+	for len(s.events) > 0 && !s.stopped {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.Executed++
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances
+// the clock to the deadline. Remaining events stay queued.
+func (s *Simulator) RunUntil(deadline Time) Time {
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.Executed++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Stop halts Run/RunUntil after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"scionmpr/internal/addr"
+)
+
+// ExtractCore reproduces the paper's core-network construction (§5.1):
+// starting from the full topology it incrementally prunes the
+// lowest-degree AS (recomputing degrees as it goes) until n ASes remain,
+// then keeps the induced subgraph, marks every surviving AS as core, and
+// relabels all surviving links as Core links.
+func ExtractCore(g *Graph, n int) (*Graph, error) {
+	if n > g.NumASes() {
+		return nil, fmt.Errorf("topology: extract core: want %d of %d ASes", n, g.NumASes())
+	}
+	alive := map[addr.IA]bool{}
+	deg := map[addr.IA]int{}
+	for _, ia := range g.IAs() {
+		alive[ia] = true
+		deg[ia] = g.ASes[ia].Degree()
+	}
+
+	// Populate the heap in sorted IA order so degree ties break
+	// deterministically (map iteration order would randomize which AS is
+	// pruned and thus the whole extracted topology).
+	h := &entryHeap{}
+	for _, ia := range g.IAs() {
+		heap.Push(h, entry{ia, deg[ia]})
+	}
+	remaining := g.NumASes()
+	for remaining > n {
+		e := heap.Pop(h).(entry)
+		if !alive[e.ia] || e.deg != deg[e.ia] {
+			continue // stale heap entry
+		}
+		alive[e.ia] = false
+		remaining--
+		for _, nb := range g.Neighbors(e.ia) {
+			if alive[nb] {
+				deg[nb]--
+				heap.Push(h, entry{nb, deg[nb]})
+			}
+		}
+	}
+
+	keep := map[addr.IA]bool{}
+	for ia, ok := range alive {
+		if ok {
+			keep[ia] = true
+		}
+	}
+	core := New()
+	for _, ia := range g.IAs() {
+		if keep[ia] {
+			core.AddAS(ia, true)
+		}
+	}
+	for _, l := range g.Links {
+		if keep[l.A] && keep[l.B] {
+			core.MustConnect(l.A, l.B, Core)
+		}
+	}
+	return core, nil
+}
+
+type entry struct {
+	ia  addr.IA
+	deg int
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].deg < h[j].deg }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// AssignISDs distributes the ASes of a core network over numISDs isolation
+// domains and returns a relabeled copy (same AS numbers, new ISD part) plus
+// the old-to-new IA mapping. Assignment follows a BFS order from the
+// highest-degree AS so that each ISD's cores are topologically close,
+// mirroring how real ISDs form around regional tier-1 clusters.
+func AssignISDs(core *Graph, numISDs int) (*Graph, map[addr.IA]addr.IA, error) {
+	if numISDs < 1 {
+		return nil, nil, fmt.Errorf("topology: assign ISDs: numISDs must be >= 1")
+	}
+	n := core.NumASes()
+	perISD := (n + numISDs - 1) / numISDs
+
+	// BFS order from the highest-degree AS, restarting at the next
+	// highest-degree unvisited AS for disconnected components.
+	ias := core.IAs()
+	sort.Slice(ias, func(i, j int) bool {
+		di, dj := core.ASes[ias[i]].Degree(), core.ASes[ias[j]].Degree()
+		if di != dj {
+			return di > dj
+		}
+		return ias[i].Less(ias[j])
+	})
+	visited := map[addr.IA]bool{}
+	var order []addr.IA
+	for _, start := range ias {
+		if visited[start] {
+			continue
+		}
+		queue := []addr.IA{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			order = append(order, cur)
+			for _, nb := range core.Neighbors(cur) {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+
+	mapping := map[addr.IA]addr.IA{}
+	for i, ia := range order {
+		isd := addr.ISD(i/perISD + 1)
+		mapping[ia] = addr.IA{ISD: isd, AS: ia.AS}
+	}
+
+	out := New()
+	for _, ia := range order {
+		out.AddAS(mapping[ia], true)
+	}
+	for _, l := range core.Links {
+		out.MustConnect(mapping[l.A], mapping[l.B], Core)
+	}
+	return out, mapping, nil
+}
+
+// BuildISD reproduces the paper's large intra-ISD topology construction
+// (§5.1): pick the coreCount ASes with the largest customer cones as the
+// ISD core, then iterate down the customer hierarchy adding all direct and
+// indirect customers. The result keeps provider-customer and peer links
+// inside the set, relabels links among core ASes as Core, and marks the
+// chosen ASes core.
+func BuildISD(g *Graph, coreCount int) (*Graph, error) {
+	if coreCount < 1 || coreCount > g.NumASes() {
+		return nil, fmt.Errorf("topology: build ISD: bad core count %d", coreCount)
+	}
+	type ranked struct {
+		ia   addr.IA
+		cone int
+	}
+	all := make([]ranked, 0, g.NumASes())
+	for _, ia := range g.IAs() {
+		all = append(all, ranked{ia, g.CustomerCone(ia)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cone != all[j].cone {
+			return all[i].cone > all[j].cone
+		}
+		return all[i].ia.Less(all[j].ia)
+	})
+
+	coreSet := map[addr.IA]bool{}
+	for i := 0; i < coreCount; i++ {
+		coreSet[all[i].ia] = true
+	}
+
+	// Descend the hierarchy from the core.
+	member := map[addr.IA]bool{}
+	var stack []addr.IA
+	for ia := range coreSet {
+		member[ia] = true
+		stack = append(stack, ia)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.Customers(cur) {
+			if !member[c] {
+				member[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+
+	isd := New()
+	for _, ia := range g.IAs() {
+		if member[ia] {
+			isd.AddAS(ia, coreSet[ia])
+		}
+	}
+	for _, l := range g.Links {
+		if !member[l.A] || !member[l.B] {
+			continue
+		}
+		rel := l.Rel
+		if coreSet[l.A] && coreSet[l.B] {
+			rel = Core
+		}
+		isd.MustConnect(l.A, l.B, rel)
+	}
+	if err := isd.Validate(); err != nil {
+		return nil, err
+	}
+	return isd, nil
+}

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"scionmpr/internal/addr"
+)
+
+// SCIONLab returns a topology modeled on the SCIONLab research testbed
+// core as evaluated in the paper's Appendix B: 21 core ASes with an
+// average core degree of about 2 (a sparse, ring-like global backbone),
+// a few parallel links, and a handful of user ASes attached below each
+// core AS. Each core AS anchors its own ISD, as in SCIONLab.
+func SCIONLab() *Graph {
+	g := New()
+	const cores = 21
+	coreIAs := make([]addr.IA, cores)
+	for i := 0; i < cores; i++ {
+		coreIAs[i] = addr.IA{ISD: addr.ISD(i + 1), AS: addr.AS(0xff00_0000_0100 + uint64(i))}
+		g.AddAS(coreIAs[i], true)
+	}
+	// Sparse ring backbone: every core AS connects to its successor.
+	for i := 0; i < cores; i++ {
+		g.MustConnect(coreIAs[i], coreIAs[(i+1)%cores], Core)
+	}
+	// A few chords and parallel links reflecting the better-connected
+	// SCIONLab attachment points (ETHZ, KISTI, Magdeburg, ...).
+	chords := [][2]int{{0, 7}, {0, 14}, {3, 11}, {5, 17}}
+	for _, c := range chords {
+		g.MustConnect(coreIAs[c[0]], coreIAs[c[1]], Core)
+	}
+	// Parallel links on two of the ring edges (redundant attachment).
+	g.MustConnect(coreIAs[0], coreIAs[1], Core)
+	g.MustConnect(coreIAs[10], coreIAs[11], Core)
+
+	// Two user (leaf) ASes per core AS, as SCIONLab attachment points host
+	// multiple user ASes.
+	for i, core := range coreIAs {
+		for j := 0; j < 2; j++ {
+			leaf := addr.IA{ISD: core.ISD, AS: addr.AS(0xff00_0000_1000 + uint64(i*8+j))}
+			g.AddAS(leaf, false)
+			g.MustConnect(core, leaf, ProviderOf)
+		}
+	}
+	return g
+}
+
+// Demo returns the small 3-ISD network of the paper's Figure 1: ISD A
+// (cores A-1, A-2; leaves A-3..A-6), ISD B (cores B-1, B-2; leaves
+// B-3..B-5), and ISD C (cores C-1..C-3; leaves C-4, C-5), with core links
+// between the ISDs, intra-ISD provider links, and one peering link. It is
+// used by the quickstart example and the Table 1 experiment.
+func Demo() *Graph {
+	g := New()
+	ia := func(isd addr.ISD, as uint64) addr.IA { return addr.IA{ISD: isd, AS: addr.AS(as)} }
+
+	// ISD 1 = "A", ISD 2 = "B", ISD 3 = "C".
+	a := make([]addr.IA, 7)
+	b := make([]addr.IA, 6)
+	c := make([]addr.IA, 6)
+	for i := 1; i <= 6; i++ {
+		a[i] = ia(1, uint64(0xff00_0000_0100+i))
+		g.AddAS(a[i], i <= 2)
+	}
+	for i := 1; i <= 5; i++ {
+		b[i] = ia(2, uint64(0xff00_0000_0200+i))
+		g.AddAS(b[i], i <= 2)
+	}
+	for i := 1; i <= 5; i++ {
+		c[i] = ia(3, uint64(0xff00_0000_0300+i))
+		g.AddAS(c[i], i <= 3)
+	}
+
+	// Core mesh (red double-headed arrows in Figure 1).
+	g.MustConnect(a[1], a[2], Core)
+	g.MustConnect(b[1], b[2], Core)
+	g.MustConnect(c[1], c[2], Core)
+	g.MustConnect(c[1], c[3], Core)
+	g.MustConnect(c[2], c[3], Core)
+	g.MustConnect(a[1], b[1], Core)
+	g.MustConnect(a[2], b[2], Core)
+	g.MustConnect(a[2], c[1], Core)
+	g.MustConnect(b[2], c[2], Core)
+
+	// ISD A hierarchy: A-1 -> A-3; A-2 -> A-4; A-3,A-4 -> A-5; A-4 -> A-6; A-5 -> A-6.
+	g.MustConnect(a[1], a[3], ProviderOf)
+	g.MustConnect(a[2], a[4], ProviderOf)
+	g.MustConnect(a[3], a[5], ProviderOf)
+	g.MustConnect(a[4], a[5], ProviderOf)
+	g.MustConnect(a[4], a[6], ProviderOf)
+	g.MustConnect(a[5], a[6], ProviderOf)
+
+	// ISD B hierarchy: B-1 -> B-3; B-2 -> B-3, B-4; B-3 -> B-5; B-4 -> B-5.
+	g.MustConnect(b[1], b[3], ProviderOf)
+	g.MustConnect(b[2], b[3], ProviderOf)
+	g.MustConnect(b[2], b[4], ProviderOf)
+	g.MustConnect(b[3], b[5], ProviderOf)
+	g.MustConnect(b[4], b[5], ProviderOf)
+
+	// ISD C hierarchy: C-1 -> C-4; C-3 -> C-4, C-5.
+	g.MustConnect(c[1], c[4], ProviderOf)
+	g.MustConnect(c[3], c[4], ProviderOf)
+	g.MustConnect(c[3], c[5], ProviderOf)
+
+	// One inter-ISD peering link between non-core ASes (A-5 and B-4),
+	// enabling peering shortcuts.
+	g.MustConnect(a[5], b[4], PeerOf)
+
+	return g
+}
