@@ -5,6 +5,9 @@
 //	fig5        Figure 5  overhead relative to BGP (BGPsec, SCION core
 //	                      baseline/diversity, SCION intra-ISD)
 //	fig6        Figure 6a/6b  failure resilience & capacity vs optimum
+//	capacity    Figure 6b under load: achieved goodput of diversity vs
+//	            baseline vs BGP best-path with real traffic (token-bucket
+//	            links, multipath striping)
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | scionlab | convergence | ablation | gridsearch | all")
+		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | capacity | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration = flag.Duration("duration", 0, "override beaconing duration")
 		pairs    = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -89,6 +92,16 @@ func main() {
 	if want("fig6") || want("fig6a") || want("fig6b") {
 		runOne("fig6", func() error {
 			res, err := experiments.RunFig6(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("capacity") {
+		runOne("capacity", func() error {
+			res, err := experiments.RunCapacity(scale)
 			if err != nil {
 				return err
 			}

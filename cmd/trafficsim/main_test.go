@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func defaultConfig() config {
+	return config{
+		n: 60, tier1: 4, cores: 5, seed: 1,
+		flows: 10000, pairs: 40,
+		rate: 5000, meanSize: 128 << 10, zipf: 1.2,
+		sched: "weighted", chunk: 64 << 10,
+	}
+}
+
+// TestRunDeterministic is the CLI contract: the same seed must produce a
+// byte-identical summary across independent runs — 10,000 concurrent flows
+// through topology generation, beaconing, path lookup, token buckets and
+// scheduling, with not a single source of nondeterminism.
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 10k-flow runs in -short mode")
+	}
+	runOnce := func(cfg config) []byte {
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cfg := defaultConfig()
+	first := runOnce(cfg)
+	if !strings.Contains(string(first), "flows: 10000 total") {
+		t.Fatalf("expected 10000 flows in summary:\n%s", first)
+	}
+	if second := runOnce(cfg); !bytes.Equal(first, second) {
+		t.Errorf("same seed produced different output:\n--- first ---\n%s--- second ---\n%s",
+			first, second)
+	}
+	cfg.seed = 2
+	if other := runOnce(cfg); bytes.Equal(first, other) {
+		t.Error("different seed produced identical output")
+	}
+}
+
+// TestRunSmall exercises the deadline cutoff and the alternate schedulers
+// on a workload sized for the test cache.
+func TestRunSmall(t *testing.T) {
+	for _, sched := range []string{"single-best", "round-robin", "latency"} {
+		cfg := defaultConfig()
+		cfg.n, cfg.tier1, cfg.cores = 20, 3, 3
+		cfg.flows, cfg.pairs = 200, 10
+		cfg.sched = sched
+		cfg.duration = 500 * time.Millisecond
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if !strings.Contains(buf.String(), "flows: 200 total") {
+			t.Errorf("%s: unexpected output:\n%s", sched, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsBadScheduler(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.sched = "no-such-scheduler"
+	if err := run(&bytes.Buffer{}, cfg); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

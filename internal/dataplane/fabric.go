@@ -112,6 +112,21 @@ func (f *Fabric) OnDeliver(ia addr.IA, fn DeliverFunc) { f.deliver[ia] = fn }
 // OnSCMP installs the SCMP handler of an AS.
 func (f *Fabric) OnSCMP(ia addr.IA, fn SCMPFunc) { f.scmp[ia] = fn }
 
+// AddSCMP registers an additional SCMP listener for ia, chained after any
+// handler already installed — several consumers (endpoints, traffic
+// engines) can observe revocations arriving at the same AS.
+func (f *Fabric) AddSCMP(ia addr.IA, fn SCMPFunc) {
+	prev := f.scmp[ia]
+	if prev == nil {
+		f.scmp[ia] = fn
+		return
+	}
+	f.scmp[ia] = func(m *SCMP) {
+		prev(m)
+		fn(m)
+	}
+}
+
 // FailLink marks one link as failed; packets routed over it trigger
 // revocations.
 func (f *Fabric) FailLink(id topology.LinkID) { f.failed[id] = true }

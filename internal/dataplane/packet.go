@@ -15,6 +15,7 @@ import (
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/combinator"
+	"scionmpr/internal/topology"
 )
 
 // MACLen is the per-hop-field MAC length (6 bytes, as in SCION).
@@ -96,6 +97,36 @@ func (fp *FwdPath) Reverse(keys KeyFunc) (*FwdPath, error) {
 			return nil, fmt.Errorf("dataplane: no forwarding key for %s", rev.IA)
 		}
 		out.Hops[len(fp.Hops)-1-i] = HopField{Hop: rev, MAC: hopMAC(key, rev)}
+	}
+	return out, nil
+}
+
+// LinkRef is one inter-domain link a forwarding path traverses, with the
+// direction of traversal: packets cross Link from From toward
+// Link.Other(From). Traffic models key per-direction capacity on it.
+type LinkRef struct {
+	Link *topology.Link
+	From addr.IA
+}
+
+// Forward reports whether the path crosses the link in A-to-B direction.
+func (r LinkRef) Forward() bool { return r.Link.A == r.From }
+
+// LinkRefs resolves the path's hop fields against the topology into the
+// ordered sequence of traversed inter-domain links. It fails when a hop's
+// egress interface does not attach to any link, which indicates a path
+// built for a different topology.
+func (fp *FwdPath) LinkRefs(topo *topology.Graph) ([]LinkRef, error) {
+	out := make([]LinkRef, 0, len(fp.Hops))
+	for _, h := range fp.Hops {
+		if h.Hop.Out == 0 {
+			continue
+		}
+		l := topo.LinkByIf(h.Hop.IA, h.Hop.Out)
+		if l == nil {
+			return nil, fmt.Errorf("dataplane: %s has no interface %s", h.Hop.IA, h.Hop.Out)
+		}
+		out = append(out, LinkRef{Link: l, From: h.Hop.IA})
 	}
 	return out, nil
 }

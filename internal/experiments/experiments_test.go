@@ -293,3 +293,40 @@ func TestRunAblation(t *testing.T) {
 		t.Error("print output missing")
 	}
 }
+
+func TestRunCapacityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity in -short mode")
+	}
+	s := SmokeScale()
+	res, err := RunCapacity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 || len(res.Series) != 3 {
+		t.Fatalf("pairs=%d series=%d", len(res.Pairs), len(res.Series))
+	}
+	for _, series := range res.Series {
+		if len(series.Multiples) != len(res.Pairs) {
+			t.Fatalf("%s: %d values for %d pairs", series.Name, len(series.Multiples), len(res.Pairs))
+		}
+	}
+	div := res.AggregateGoodput("SCION Diversity")
+	base := res.AggregateGoodput("SCION Baseline")
+	bgpBest := res.AggregateGoodput("BGP best-path")
+	if div <= 0 || base <= 0 || bgpBest <= 0 {
+		t.Fatalf("degenerate goodput: div=%v base=%v bgp=%v", div, base, bgpBest)
+	}
+	// The paper's Figure 6b ordering, measured with packets.
+	if div < base {
+		t.Errorf("diversity aggregate %v below baseline %v", div, base)
+	}
+	if base < bgpBest {
+		t.Errorf("baseline aggregate %v below BGP best-path %v", base, bgpBest)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "capacity under load") {
+		t.Error("print output missing title")
+	}
+}

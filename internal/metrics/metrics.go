@@ -256,6 +256,24 @@ func FprintHistogram(w io.Writer, title string, samples []float64, buckets int) 
 	}
 }
 
+// FmtBytes renders a byte count with a binary unit prefix (B, KiB, MiB,
+// GiB, TiB), the format used by traffic summaries.
+func FmtBytes(v float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f %s", v, units[i])
+	}
+	return fmt.Sprintf("%.2f %s", v, units[i])
+}
+
+// FmtRate renders a byte rate as bytes-per-second with a binary prefix.
+func FmtRate(v float64) string { return FmtBytes(v) + "/s" }
+
 // OrderOfMagnitude returns log10(a/b), the "orders of magnitude" language
 // the paper uses for overhead comparisons.
 func OrderOfMagnitude(a, b float64) float64 {

@@ -162,3 +162,27 @@ func TestFprintHistogram(t *testing.T) {
 		t.Error("degenerate histogram output")
 	}
 }
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{1024, "1.00 KiB"},
+		{1536, "1.50 KiB"},
+		{4 << 20, "4.00 MiB"},
+		{1.25e9, "1.16 GiB"},
+		{3 << 40, "3.00 TiB"},
+		{1 << 50, "1024.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.in); got != c.want {
+			t.Errorf("FmtBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := FmtRate(2048); got != "2.00 KiB/s" {
+		t.Errorf("FmtRate(2048) = %q", got)
+	}
+}

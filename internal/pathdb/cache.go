@@ -64,29 +64,43 @@ func (c *Cache) Flush() { c.entries = map[cacheKey]cacheEntry{} }
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// ZipfRanks draws indices in [0, n) with Zipf-distributed popularity —
+// rank 0 is the most popular. It backs both the lookup-cache workload here
+// and the traffic engine's destination-popularity model: Internet traffic
+// destinations are Zipf distributed (paper §4.1, citing prefix top lists).
+type ZipfRanks struct {
+	n    int
+	zipf *rand.Zipf
+}
+
+// NewZipfRanks builds a deterministic Zipf(s) rank sampler over n ranks;
+// exponents <= 1 are clamped to the smallest valid value.
+func NewZipfRanks(n int, s float64, seed int64) *ZipfRanks {
+	if s <= 1 {
+		s = 1.0001
+	}
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfRanks{n: n, zipf: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next returns the next rank.
+func (z *ZipfRanks) Next() int { return int(z.zipf.Uint64()) % z.n }
+
 // ZipfWorkload draws destination ASes with Zipf-distributed popularity,
 // modelling the Internet traffic destination skew that makes path-server
 // caching effective (paper §4.1, citing prefix top lists).
 type ZipfWorkload struct {
-	dsts []addr.IA
-	zipf *rand.Zipf
+	dsts  []addr.IA
+	ranks *ZipfRanks
 }
 
 // NewZipfWorkload builds a workload over dsts with Zipf exponent s > 1
 // and deterministic seed.
 func NewZipfWorkload(dsts []addr.IA, s float64, seed int64) *ZipfWorkload {
-	if s <= 1 {
-		s = 1.0001
-	}
-	rng := rand.New(rand.NewSource(seed))
-	n := uint64(len(dsts))
-	if n == 0 {
-		n = 1
-	}
-	return &ZipfWorkload{
-		dsts: dsts,
-		zipf: rand.NewZipf(rng, s, 1, n-1),
-	}
+	return &ZipfWorkload{dsts: dsts, ranks: NewZipfRanks(len(dsts), s, seed)}
 }
 
 // Next returns the next destination.
@@ -94,7 +108,7 @@ func (w *ZipfWorkload) Next() addr.IA {
 	if len(w.dsts) == 0 {
 		return addr.IA{}
 	}
-	return w.dsts[int(w.zipf.Uint64())%len(w.dsts)]
+	return w.dsts[w.ranks.Next()]
 }
 
 // ExpectedHitRate estimates the asymptotic cache hit rate of a Zipf(s)

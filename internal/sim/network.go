@@ -53,6 +53,9 @@ type Network struct {
 	handlers map[addr.IA]Handler
 	counters map[IfKey]*Counter
 	failed   map[topology.LinkID]bool
+	// delays holds per-link latency overrides; links without an entry use
+	// the network-wide Delay.
+	delays map[topology.LinkID]time.Duration
 	// Dropped counts messages to ASes with no registered handler.
 	Dropped uint64
 	// DroppedOnFailedLinks counts messages lost to failed links.
@@ -68,7 +71,27 @@ func NewNetwork(s *Simulator, topo *topology.Graph, delay time.Duration) *Networ
 		handlers: map[addr.IA]Handler{},
 		counters: map[IfKey]*Counter{},
 		failed:   map[topology.LinkID]bool{},
+		delays:   map[topology.LinkID]time.Duration{},
 	}
+}
+
+// SetLinkDelay overrides the one-way latency of a single link (both
+// directions), modelling heterogeneous propagation delays; d <= 0 restores
+// the network-wide default.
+func (n *Network) SetLinkDelay(id topology.LinkID, d time.Duration) {
+	if d <= 0 {
+		delete(n.delays, id)
+		return
+	}
+	n.delays[id] = d
+}
+
+// LinkDelay returns the one-way latency of a link.
+func (n *Network) LinkDelay(id topology.LinkID) time.Duration {
+	if d, ok := n.delays[id]; ok {
+		return d
+	}
+	return n.Delay
 }
 
 // FailLink drops all future messages on the link (both directions).
@@ -111,7 +134,7 @@ func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
 	tx.TxMsgs++
 	to := link.Other(from)
 	remoteIf := link.RemoteIf(from)
-	n.Sim.Schedule(n.Delay, func() {
+	n.Sim.Schedule(n.LinkDelay(link.ID), func() {
 		rx := n.counter(IfKey{IA: to, If: remoteIf})
 		rx.RxBytes += uint64(size)
 		rx.RxMsgs++

@@ -251,3 +251,33 @@ func TestNetworkInterfaceListing(t *testing.T) {
 		t.Error("reset did not clear counters")
 	}
 }
+
+func TestSetLinkDelay(t *testing.T) {
+	var s Simulator
+	g := pairTopo()
+	a, b := addr.MustIA(1, 1), addr.MustIA(1, 2)
+	n := NewNetwork(&s, g, 10*time.Millisecond)
+	link := g.LinksBetween(a, b)[0]
+
+	if d := n.LinkDelay(link.ID); d != 10*time.Millisecond {
+		t.Fatalf("default delay = %v", d)
+	}
+	n.SetLinkDelay(link.ID, 3*time.Millisecond)
+	if d := n.LinkDelay(link.ID); d != 3*time.Millisecond {
+		t.Fatalf("override delay = %v", d)
+	}
+
+	var gotAt Time
+	n.Register(b, HandlerFunc(func(addr.IA, *topology.Link, Message) { gotAt = s.Now() }))
+	n.Send(a, link, testMsg(1))
+	s.Run()
+	if gotAt != Time(3*time.Millisecond) {
+		t.Errorf("delivered at %v, want the 3ms override", gotAt)
+	}
+
+	// d <= 0 restores the network-wide default.
+	n.SetLinkDelay(link.ID, 0)
+	if d := n.LinkDelay(link.ID); d != 10*time.Millisecond {
+		t.Errorf("delay after reset = %v, want default", d)
+	}
+}

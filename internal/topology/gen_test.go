@@ -2,6 +2,9 @@ package topology
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -323,5 +326,40 @@ func TestExtractCoreDeterministic(t *testing.T) {
 	}
 	if len(c1.Links) != len(c2.Links) {
 		t.Fatal("different core link counts")
+	}
+}
+
+// fingerprint hashes every structural detail of a graph — AS set, core
+// flags, and each link's endpoints, interface IDs and relationship — so
+// that any change to the generator's output is caught, not just changes
+// to aggregate counts.
+func fingerprint(g *Graph) string {
+	h := sha256.New()
+	for _, ia := range g.IAs() {
+		fmt.Fprintf(h, "as %s core=%v\n", ia, g.AS(ia).Core)
+	}
+	for _, l := range g.Links {
+		fmt.Fprintf(h, "link %d %s\n", l.ID, l)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGenerateFingerprint pins the default-seed generator output. If this
+// fails after an intentional generator change, update the constants — and
+// say so in the commit, because every seeded experiment shifts with them.
+func TestGenerateFingerprint(t *testing.T) {
+	const (
+		wantDefault = "984d315913e7b1a96d6198923159aa3a6ab4cf8f77de54ba455c8501fe63a0e5"
+		wantSmall   = "41d566d42606d26d6e96d0c9c1a6018a6572cdca26e6fc0ffffede1d948bacb3"
+	)
+	if got := fingerprint(MustGenerate(DefaultGenParams())); got != wantDefault {
+		t.Errorf("DefaultGenParams fingerprint = %s, want %s", got, wantDefault)
+	}
+	if got := fingerprint(MustGenerate(smallGenParams())); got != wantSmall {
+		t.Errorf("smallGenParams fingerprint = %s, want %s", got, wantSmall)
+	}
+	// The fingerprint itself must be stable across repeated generation.
+	if a, b := fingerprint(MustGenerate(smallGenParams())), fingerprint(MustGenerate(smallGenParams())); a != b {
+		t.Errorf("same params produced different fingerprints: %s vs %s", a, b)
 	}
 }

@@ -66,6 +66,19 @@ func GenerateTopology(n, tier1 int, seed int64) (*Topology, error) {
 	return topology.Generate(p)
 }
 
+// GenerateISDTopology synthesizes an Internet-like topology and carves the
+// ISD hierarchy traffic simulations bootstrap on: the cores ASes with the
+// largest customer cones become the ISD core, and the graph is restricted
+// to the core plus its customer hierarchy (paper §5.1's intra-ISD
+// construction). The result is ready for NewNetwork.
+func GenerateISDTopology(n, tier1, cores int, seed int64) (*Topology, error) {
+	g, err := GenerateTopology(n, tier1, seed)
+	if err != nil {
+		return nil, err
+	}
+	return topology.BuildISD(g, cores)
+}
+
 // LoadTopology parses the CAIDA serial-2 AS-relationship format.
 func LoadTopology(r io.Reader) (*Topology, error) { return topology.ParseCAIDA(r, 1) }
 
