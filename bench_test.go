@@ -524,3 +524,54 @@ func BenchmarkFlowArrivalChurn(b *testing.B) {
 	}
 	b.ReportMetric(flows, "flows/op")
 }
+
+// BenchmarkChaosFlapTick measures one fail/restore pair applied to both
+// planes — the work a single flap injection performs on its targets
+// (the engine itself only adds depth bookkeeping on top).
+func BenchmarkChaosFlapTick(b *testing.B) {
+	_, coreTopo := topos(b)
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, coreTopo, time.Millisecond)
+	infra, err := trust.NewInfra(coreTopo, trust.Sized)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fabric := dataplane.NewFabric(net, infra.ForwardingKey)
+	id := coreTopo.Links[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.FailLink(id)
+		fabric.FailLink(id)
+		fabric.RestoreLink(id)
+		net.RestoreLink(id)
+	}
+}
+
+// BenchmarkChaosGrayDropDecision measures the per-message cost the gray
+// failure check adds to the network hot path when a lossy link is active.
+func BenchmarkChaosGrayDropDecision(b *testing.B) {
+	s := &sim.Simulator{}
+	g := topology.New()
+	a1 := addr.MustIA(1, 1)
+	a2 := addr.MustIA(1, 2)
+	g.AddAS(a1, true)
+	g.AddAS(a2, true)
+	l, err := g.Connect(a1, a2, topology.Core)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := sim.NewNetwork(s, g, time.Millisecond)
+	net.SetLinkLoss(l.ID, 1) // every send takes the drop branch
+	msg := benchWire{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(a1, l, msg)
+	}
+	if net.DroppedByLoss != uint64(b.N) {
+		b.Fatalf("dropped %d of %d", net.DroppedByLoss, b.N)
+	}
+}
+
+type benchWire struct{}
+
+func (benchWire) WireLen() int { return 64 }

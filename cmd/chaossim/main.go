@@ -1,0 +1,214 @@
+// Command chaossim replays a deterministic fault-injection schedule
+// against a live core-beaconing simulation: links flap, drop silently or
+// spike in latency, and beacon servers crash and restart, while the
+// surviving servers keep disseminating and revoke state behind every
+// failure. The summary reports what was injected, what the network lost,
+// and how much disseminated path state survived to the end. The same
+// schedule and seed print a byte-identical summary.
+//
+// Schedules come from a file (-schedule, see internal/chaos.ParseSchedule
+// for the format) or from a built-in default that exercises every fault
+// kind. Example schedule file:
+//
+//	seed 42
+//	end 30s
+//	flap  1 at 5s down 2s period 6s until 25s
+//	gray  2 at 8s down 4s rate 0.3
+//	spike 3 at 10s down 4s delay 200ms
+//	crash 1-ff00:0:101 at 12s down 3s
+//
+// Usage:
+//
+//	chaossim                               # built-in schedule, demo topology
+//	chaossim -schedule faults.txt
+//	chaossim -topo gen -n 200 -core 24 -algo baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/beacon"
+	"scionmpr/internal/chaos"
+	"scionmpr/internal/core"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+)
+
+type config struct {
+	topoKind string
+	n, tier1 int
+	coreN    int
+	seed     int64
+	algo     string
+	store    int
+	interval time.Duration
+	lifetime time.Duration
+	duration time.Duration
+	schedule string
+	pairs    int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.topoKind, "topo", "demo", "topology: demo | gen")
+	flag.IntVar(&cfg.n, "n", 200, "ASes for -topo gen")
+	flag.IntVar(&cfg.tier1, "tier1", 8, "tier-1 clique size for -topo gen")
+	flag.IntVar(&cfg.coreN, "core", 24, "core network size for -topo gen")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for topology and the built-in schedule")
+	flag.StringVar(&cfg.algo, "algo", "diversity", "selection algorithm: baseline | diversity")
+	flag.IntVar(&cfg.store, "store", 60, "PCB storage limit per origin (0 = unlimited)")
+	flag.DurationVar(&cfg.interval, "interval", time.Second, "beaconing interval (compressed timescale)")
+	flag.DurationVar(&cfg.lifetime, "lifetime", time.Hour, "PCB lifetime")
+	flag.DurationVar(&cfg.duration, "duration", 30*time.Second, "simulated duration")
+	flag.StringVar(&cfg.schedule, "schedule", "", "fault schedule file (empty: built-in default)")
+	flag.IntVar(&cfg.pairs, "pairs", 20, "AS pairs sampled for surviving path state")
+	flag.Parse()
+
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg config) error {
+	topo, err := buildTopo(cfg)
+	if err != nil {
+		return err
+	}
+	sched, err := loadSchedule(cfg, topo)
+	if err != nil {
+		return err
+	}
+	if end := time.Duration(sched.End); end > cfg.duration {
+		cfg.duration = end
+	}
+	var factory core.Factory
+	switch cfg.algo {
+	case "baseline":
+		factory = core.NewBaseline(5)
+	case "diversity":
+		factory = core.NewDiversity(core.DefaultParams(5))
+	default:
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
+	}
+
+	runCfg := beacon.DefaultRunConfig(topo, beacon.CoreMode, factory, cfg.store)
+	runCfg.Interval = cfg.interval
+	runCfg.Lifetime = cfg.lifetime
+	runCfg.Duration = cfg.duration
+	runCfg.Chaos = sched
+
+	res, err := beacon.Run(runCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "topology: %s\n", topo.ComputeStats())
+	fmt.Fprintf(w, "%s beaconing, interval %v, %v simulated\n", cfg.algo, cfg.interval, cfg.duration)
+	fmt.Fprintf(w, "\n%s\n", sched)
+	fmt.Fprintf(w, "\n%s\n", res.Chaos.Summary())
+
+	var orig, prop, recv, rej, deaf uint64
+	for _, ia := range topo.IAs() {
+		srv := res.Servers[ia]
+		orig += srv.Originated
+		prop += srv.Propagated
+		recv += srv.Received
+		rej += srv.Rejected
+		deaf += srv.DroppedWhileDown
+	}
+	fmt.Fprintf(w, "PCBs: originated=%d propagated=%d received=%d rejected=%d dropped-while-crashed=%d\n",
+		orig, prop, recv, rej, deaf)
+	fmt.Fprintf(w, "network: dropped-on-failed-links=%d dropped-by-gray-loss=%d control-plane-bytes=%d\n",
+		res.Net.DroppedOnFailedLinks, res.Net.DroppedByLoss, res.Net.GrandTotalTx())
+
+	// Surviving path state: every fault in the default schedule heals, so
+	// dissemination must have repopulated the stores by the end. Core
+	// beaconing disseminates among core ASes, so sample core pairs.
+	pairs := corePairs(topo, cfg.pairs)
+	connected, segs := 0, 0
+	for _, pr := range pairs {
+		n := len(res.Servers[pr[1]].Segments(res.End, pr[0]))
+		segs += n
+		if n > 0 {
+			connected++
+		}
+	}
+	fmt.Fprintf(w, "path state after recovery: %d/%d sampled pairs connected, %d segments total\n",
+		connected, len(pairs), segs)
+	return nil
+}
+
+// corePairs deterministically enumerates up to n ordered core AS pairs.
+func corePairs(topo *topology.Graph, n int) [][2]addr.IA {
+	cores := topo.CoreIAs()
+	var out [][2]addr.IA
+	for _, a := range cores {
+		for _, b := range cores {
+			if a == b || len(out) >= n {
+				continue
+			}
+			out = append(out, [2]addr.IA{a, b})
+		}
+	}
+	return out
+}
+
+func buildTopo(cfg config) (*topology.Graph, error) {
+	switch cfg.topoKind {
+	case "demo":
+		return topology.Demo(), nil
+	case "gen":
+		p := topology.DefaultGenParams()
+		p.NumASes = cfg.n
+		p.Tier1 = cfg.tier1
+		p.Seed = cfg.seed
+		full, err := topology.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		return topology.ExtractCore(full, cfg.coreN)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", cfg.topoKind)
+	}
+}
+
+// loadSchedule reads the schedule file, or builds the default plan: flap
+// churn across a third of the core links plus one gray failure, one
+// latency spike and one beacon-server crash, all healing before the end.
+func loadSchedule(cfg config, topo *topology.Graph) (*chaos.Schedule, error) {
+	if cfg.schedule != "" {
+		f, err := os.Open(cfg.schedule)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return chaos.ParseSchedule(f, topo)
+	}
+	var coreLinks []topology.LinkID
+	for _, l := range topo.Links {
+		if l.Rel == topology.Core {
+			coreLinks = append(coreLinks, l.ID)
+		}
+	}
+	if len(coreLinks) == 0 {
+		return nil, fmt.Errorf("topology has no core links to fault")
+	}
+	end := sim.Time(cfg.duration)
+	n := len(coreLinks) / 3
+	if n < 2 {
+		n = 2
+	}
+	sched := chaos.FlapChurn(cfg.seed, coreLinks, n, end/6, end-end/6, 2*time.Second, 6*time.Second)
+	sched.Events = append(sched.Events,
+		chaos.Event{Kind: chaos.Gray, Link: coreLinks[0], At: end / 4, Down: 4 * time.Second, Rate: 0.3},
+		chaos.Event{Kind: chaos.Spike, Link: coreLinks[len(coreLinks)/2], At: end / 3, Down: 4 * time.Second, Delay: 200 * time.Millisecond},
+		chaos.Event{Kind: chaos.CrashAS, IA: topo.CoreIAs()[0], At: end / 2, Down: 3 * time.Second},
+	)
+	return sched, nil
+}

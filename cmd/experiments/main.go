@@ -8,6 +8,9 @@
 //	capacity    Figure 6b under load: achieved goodput of diversity vs
 //	            baseline vs BGP best-path with real traffic (token-bucket
 //	            links, multipath striping)
+//	churn       extra: continuous flap churn — time-to-reconnect and
+//	            goodput recovery of diversity vs baseline vs BGP under a
+//	            deterministic fault-injection schedule
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | capacity | scionlab | convergence | ablation | gridsearch | all")
+		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration = flag.Duration("duration", 0, "override beaconing duration")
 		pairs    = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -102,6 +105,16 @@ func main() {
 	if want("capacity") {
 		runOne("capacity", func() error {
 			res, err := experiments.RunCapacity(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("churn") {
+		runOne("churn", func() error {
+			res, err := experiments.RunChurn(scale)
 			if err != nil {
 				return err
 			}

@@ -99,3 +99,59 @@ func TestDiversityRevokeClearsSentState(t *testing.T) {
 	// Revoking an unknown link is a no-op.
 	d.Revoke(seg.LinkKey{IA: addr.MustIA(9, 9), If: 1})
 }
+
+// TestLinkRecoveryRepopulatesStores is the reinstatement half of the
+// failure reaction: after the failed link heals, neighbors re-propagate
+// over it at their next interval and beacons traversing it reappear in
+// the stores — soft revocation state does not outlive the outage.
+func TestLinkRecoveryRepopulatesStores(t *testing.T) {
+	demo := topology.Demo()
+	keep := map[addr.IA]bool{}
+	for _, ia := range demo.CoreIAs() {
+		keep[ia] = true
+	}
+	coreTopo := demo.Subgraph(keep)
+	a1 := addr.MustIA(1, 0xff00_0000_0101)
+	b1 := addr.MustIA(2, 0xff00_0000_0201)
+	failLink := coreTopo.LinksBetween(a1, b1)[0]
+
+	segsOverLink := func(res *RunResult) int {
+		n := 0
+		for _, srv := range res.Servers {
+			for _, origin := range srv.Store().Origins() {
+				for _, e := range srv.Store().Entries(res.End, origin) {
+					for _, lk := range e.PCB.Links() {
+						l := coreTopo.LinkByIf(lk.IA, lk.If)
+						if l != nil && l.ID == failLink.ID {
+							n++
+						}
+					}
+				}
+			}
+		}
+		return n
+	}
+	for _, tc := range []struct {
+		name    string
+		factory core.Factory
+	}{
+		{"baseline", core.NewBaseline(5)},
+		{"diversity", core.NewDiversity(core.DefaultParams(5))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultRunConfig(coreTopo, CoreMode, tc.factory, 20)
+			cfg.Duration = 6 * time.Hour
+			cfg.Failures = []LinkFailure{{After: 2 * time.Hour, Link: failLink, Recover: time.Hour}}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Net.DroppedOnFailedLinks == 0 {
+				t.Error("the outage dropped nothing — failure not injected?")
+			}
+			if n := segsOverLink(res); n == 0 {
+				t.Error("no stored beacon traverses the healed link: reinstatement failed")
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"scionmpr/internal/addr"
+	"scionmpr/internal/chaos"
 	"scionmpr/internal/core"
 	"scionmpr/internal/graphalg"
 	"scionmpr/internal/seg"
@@ -36,12 +37,21 @@ type RunConfig struct {
 	// link stops carrying beacons and every beacon server revokes
 	// affected state.
 	Failures []LinkFailure
+	// Chaos, if set, applies a full fault-injection schedule to the run:
+	// flaps, gray failures, latency spikes, and beacon-server crashes.
+	// Link failures trigger the same revocation reaction as Failures;
+	// on restore, neighbors re-propagate over the healed link at their
+	// next interval, repopulating the revoked state.
+	Chaos *chaos.Schedule
 }
 
-// LinkFailure schedules one link failure during a run.
+// LinkFailure schedules one link failure during a run. A positive
+// Recover restores the link that much later: beacon servers then
+// re-learn paths over it at the next beaconing interval.
 type LinkFailure struct {
-	After time.Duration
-	Link  *topology.Link
+	After   time.Duration
+	Link    *topology.Link
+	Recover time.Duration
 }
 
 // DefaultRunConfig returns the paper's simulation parameters with the
@@ -65,6 +75,9 @@ type RunResult struct {
 	Sim     *sim.Simulator
 	Net     *sim.Network
 	Servers map[addr.IA]*Server
+	// Chaos is the fault-injection engine, set when Cfg.Chaos was applied
+	// (its per-kind injection counts summarize what the run endured).
+	Chaos *chaos.Engine
 	// End is the final virtual time.
 	End sim.Time
 }
@@ -116,14 +129,35 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		srv := servers[ia]
 		s.Every(0, cfg.Interval, end, srv.Tick)
 	}
+	revokeAll := func(l *topology.Link) {
+		for _, ia := range cfg.Topo.IAs() {
+			servers[ia].HandleLinkFailure(l)
+		}
+	}
 	for _, f := range cfg.Failures {
 		f := f
 		s.Schedule(f.After, func() {
 			net.FailLink(f.Link.ID)
-			for _, srv := range servers {
-				srv.HandleLinkFailure(f.Link)
-			}
+			revokeAll(f.Link)
 		})
+		if f.Recover > 0 {
+			s.Schedule(f.After+f.Recover, func() {
+				net.RestoreLink(f.Link.ID)
+			})
+		}
+	}
+	var eng *chaos.Engine
+	if cfg.Chaos != nil {
+		eng = chaos.NewEngine(s, net)
+		eng.AddCrashTarget(serverCrashTarget{servers})
+		eng.OnFail = func(id topology.LinkID) {
+			if l := cfg.Topo.LinkByID(id); l != nil {
+				revokeAll(l)
+			}
+		}
+		if err := eng.Apply(cfg.Chaos); err != nil {
+			return nil, err
+		}
 	}
 	s.RunUntil(end)
 	// Drain in-flight deliveries scheduled before the end time.
@@ -131,7 +165,24 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if final < end {
 		final = end
 	}
-	return &RunResult{Cfg: cfg, Sim: s, Net: net, Servers: servers, End: final}, nil
+	return &RunResult{Cfg: cfg, Sim: s, Net: net, Servers: servers, Chaos: eng, End: final}, nil
+}
+
+// serverCrashTarget adapts the server map to chaos.CrashTarget.
+type serverCrashTarget struct {
+	servers map[addr.IA]*Server
+}
+
+func (t serverCrashTarget) Crash(ia addr.IA) {
+	if s := t.servers[ia]; s != nil {
+		s.SetDown(true)
+	}
+}
+
+func (t serverCrashTarget) Restart(ia addr.IA) {
+	if s := t.servers[ia]; s != nil {
+		s.SetDown(false)
+	}
 }
 
 // PathSet returns the disseminated paths from origin available at dst as

@@ -61,8 +61,13 @@ type Server struct {
 	cfg   ServerConfig
 	store *Store
 	segID uint16
+	// down marks a crashed server: it neither handles incoming PCBs nor
+	// originates/propagates until restarted (chaos crash/restart fault).
+	down bool
 	// Stats
 	Originated, Propagated, Received, Rejected uint64
+	// DroppedWhileDown counts PCBs that arrived while crashed.
+	DroppedWhileDown uint64
 }
 
 // NewServer creates a beacon server and registers it as the AS's message
@@ -86,10 +91,23 @@ func (s *Server) Store() *Store { return s.store }
 // IsCore reports whether the server's AS is a core AS.
 func (s *Server) IsCore() bool { return s.cfg.Topo.AS(s.cfg.Local).Core }
 
+// SetDown crashes (true) or restarts (false) the server. A crashed
+// server is deaf and mute: arriving PCBs are dropped and ticks do
+// nothing. Its store survives the crash (persistent state); entries
+// simply age out and are repopulated by neighbors after restart.
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.down }
+
 // HandleMessage implements sim.Handler: verify (optionally) and store.
 func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Message) {
 	pm, ok := msg.(PCBMsg)
 	if !ok {
+		return
+	}
+	if s.down {
+		s.DroppedWhileDown++
 		return
 	}
 	s.Received++
@@ -116,6 +134,9 @@ func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Messag
 // Tick runs one beaconing interval: origination (core ASes) followed by
 // propagation of stored beacons.
 func (s *Server) Tick(now sim.Time) {
+	if s.down {
+		return
+	}
 	if s.IsCore() {
 		s.originate(now)
 	}

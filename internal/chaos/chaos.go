@@ -1,0 +1,284 @@
+// Package chaos is a deterministic, seeded fault-injection engine. It
+// applies a declarative Schedule of fault events — link flaps, gray
+// failures, latency spikes, and per-AS process crashes — to a running
+// simulation through a small FaultTarget interface that both
+// sim.Network (control plane) and dataplane.Fabric (data plane)
+// satisfy, so a single schedule degrades both planes consistently.
+//
+// Determinism: every injection time (including jitter) is drawn from
+// the schedule's seeded RNG when Apply is called, in a fixed order,
+// before any event fires. The run itself only executes the precomputed
+// plan, so two runs with the same schedule and seed produce identical
+// fault timelines regardless of what else the simulation does.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+)
+
+// FaultTarget is the fault surface of one plane of the simulation.
+// sim.Network and dataplane.Fabric both implement it.
+type FaultTarget interface {
+	FailLink(id topology.LinkID)
+	RestoreLink(id topology.LinkID)
+	SetLinkLoss(id topology.LinkID, rate float64)
+	SetLinkDelay(id topology.LinkID, d time.Duration)
+}
+
+// CrashTarget can stop and resume per-AS processes (e.g. beacon
+// servers): between Crash and Restart the AS neither handles nor
+// originates messages.
+type CrashTarget interface {
+	Crash(ia addr.IA)
+	Restart(ia addr.IA)
+}
+
+// Engine applies schedules to a set of targets on one simulator.
+type Engine struct {
+	Sim     *sim.Simulator
+	targets []FaultTarget
+	crash   []CrashTarget
+
+	// Overlap bookkeeping. Concurrent events on the same link (two
+	// overlapping flaps, a flap during a gray window) must not restore
+	// the link while another outage is still active, so every fault
+	// class is depth-counted and the strongest active degradation wins.
+	failDepth  map[topology.LinkID]int
+	grayRates  map[topology.LinkID][]float64
+	spikes     map[topology.LinkID][]time.Duration
+	crashDepth map[addr.IA]int
+
+	// OnFail / OnRestore are invoked when a link transitions to failed /
+	// healthy (outermost flap edge only). Experiments hook these to feed
+	// beacon-server revocation and to timestamp outages.
+	OnFail    func(id topology.LinkID)
+	OnRestore func(id topology.LinkID)
+	// OnCrash / OnRestart mirror the link hooks for process faults.
+	OnCrash   func(ia addr.IA)
+	OnRestart func(ia addr.IA)
+
+	// Injections counts fault-plan actions executed so far, by kind.
+	Injections map[Kind]uint64
+}
+
+// NewEngine builds an engine driving the given fault targets.
+func NewEngine(s *sim.Simulator, targets ...FaultTarget) *Engine {
+	return &Engine{
+		Sim:        s,
+		targets:    targets,
+		failDepth:  map[topology.LinkID]int{},
+		grayRates:  map[topology.LinkID][]float64{},
+		spikes:     map[topology.LinkID][]time.Duration{},
+		crashDepth: map[addr.IA]int{},
+		Injections: map[Kind]uint64{},
+	}
+}
+
+// AddTarget registers an additional fault target.
+func (e *Engine) AddTarget(t FaultTarget) { e.targets = append(e.targets, t) }
+
+// AddCrashTarget registers a process-fault target.
+func (e *Engine) AddCrashTarget(t CrashTarget) { e.crash = append(e.crash, t) }
+
+// action is one precomputed step of the fault plan.
+type action struct {
+	at sim.Time
+	fn func()
+}
+
+// Apply expands sched into a concrete fault plan (all times drawn from
+// the schedule's seed up front) and registers it with the simulator.
+// Call it before running the simulation; occurrences scheduled in the
+// simulated past are dropped.
+func (e *Engine) Apply(sched *Schedule) error {
+	rng := rand.New(rand.NewSource(sched.Seed))
+	var plan []action
+	for i := range sched.Events {
+		ev := &sched.Events[i]
+		occ, err := ev.occurrences(sched.End, rng)
+		if err != nil {
+			return fmt.Errorf("chaos: event %d: %w", i, err)
+		}
+		for _, at := range occ {
+			plan = append(plan, e.planEvent(ev, at)...)
+		}
+	}
+	now := e.Sim.Now()
+	for _, a := range plan {
+		if a.at < now {
+			continue
+		}
+		e.Sim.At(a.at, a.fn)
+	}
+	return nil
+}
+
+// planEvent expands one occurrence of ev starting at t into its
+// inject/recover action pair.
+func (e *Engine) planEvent(ev *Event, t sim.Time) []action {
+	recover := t + sim.Time(ev.Down)
+	switch ev.Kind {
+	case Flap:
+		id := ev.Link
+		return []action{
+			{t, func() { e.Injections[Flap]++; e.failLink(id) }},
+			{recover, func() { e.restoreLink(id) }},
+		}
+	case Gray:
+		id, rate := ev.Link, ev.Rate
+		return []action{
+			{t, func() { e.Injections[Gray]++; e.pushGray(id, rate) }},
+			{recover, func() { e.popGray(id, rate) }},
+		}
+	case Spike:
+		id, d := ev.Link, ev.Delay
+		return []action{
+			{t, func() { e.Injections[Spike]++; e.pushSpike(id, d) }},
+			{recover, func() { e.popSpike(id, d) }},
+		}
+	case CrashAS:
+		ia := ev.IA
+		return []action{
+			{t, func() { e.Injections[CrashAS]++; e.crashAS(ia) }},
+			{recover, func() { e.restartAS(ia) }},
+		}
+	}
+	return nil
+}
+
+func (e *Engine) failLink(id topology.LinkID) {
+	e.failDepth[id]++
+	if e.failDepth[id] != 1 {
+		return
+	}
+	for _, t := range e.targets {
+		t.FailLink(id)
+	}
+	if e.OnFail != nil {
+		e.OnFail(id)
+	}
+}
+
+func (e *Engine) restoreLink(id topology.LinkID) {
+	e.failDepth[id]--
+	if e.failDepth[id] > 0 {
+		return
+	}
+	delete(e.failDepth, id)
+	for _, t := range e.targets {
+		t.RestoreLink(id)
+	}
+	if e.OnRestore != nil {
+		e.OnRestore(id)
+	}
+}
+
+// LinkDown reports whether the engine currently holds a link failed.
+func (e *Engine) LinkDown(id topology.LinkID) bool { return e.failDepth[id] > 0 }
+
+func (e *Engine) pushGray(id topology.LinkID, rate float64) {
+	e.grayRates[id] = append(e.grayRates[id], rate)
+	e.applyGray(id)
+}
+
+func (e *Engine) popGray(id topology.LinkID, rate float64) {
+	rs := e.grayRates[id]
+	for i, r := range rs {
+		if r == rate {
+			e.grayRates[id] = append(rs[:i], rs[i+1:]...)
+			break
+		}
+	}
+	if len(e.grayRates[id]) == 0 {
+		delete(e.grayRates, id)
+	}
+	e.applyGray(id)
+}
+
+// applyGray installs the strongest active gray rate on a link.
+func (e *Engine) applyGray(id topology.LinkID) {
+	max := 0.0
+	for _, r := range e.grayRates[id] {
+		if r > max {
+			max = r
+		}
+	}
+	for _, t := range e.targets {
+		t.SetLinkLoss(id, max)
+	}
+}
+
+func (e *Engine) pushSpike(id topology.LinkID, d time.Duration) {
+	e.spikes[id] = append(e.spikes[id], d)
+	e.applySpike(id)
+}
+
+func (e *Engine) popSpike(id topology.LinkID, d time.Duration) {
+	ds := e.spikes[id]
+	for i, x := range ds {
+		if x == d {
+			e.spikes[id] = append(ds[:i], ds[i+1:]...)
+			break
+		}
+	}
+	if len(e.spikes[id]) == 0 {
+		delete(e.spikes, id)
+	}
+	e.applySpike(id)
+}
+
+// applySpike installs the largest active delay override on a link;
+// SetLinkDelay(0) restores the default latency.
+func (e *Engine) applySpike(id topology.LinkID) {
+	var max time.Duration
+	for _, d := range e.spikes[id] {
+		if d > max {
+			max = d
+		}
+	}
+	// Delay overrides are a transport property; apply once on the first
+	// target that carries it (all targets share the underlying network
+	// in practice, and re-applying the same override is idempotent).
+	for _, t := range e.targets {
+		t.SetLinkDelay(id, max)
+	}
+}
+
+func (e *Engine) crashAS(ia addr.IA) {
+	e.crashDepth[ia]++
+	if e.crashDepth[ia] != 1 {
+		return
+	}
+	for _, t := range e.crash {
+		t.Crash(ia)
+	}
+	if e.OnCrash != nil {
+		e.OnCrash(ia)
+	}
+}
+
+func (e *Engine) restartAS(ia addr.IA) {
+	e.crashDepth[ia]--
+	if e.crashDepth[ia] > 0 {
+		return
+	}
+	delete(e.crashDepth, ia)
+	for _, t := range e.crash {
+		t.Restart(ia)
+	}
+	if e.OnRestart != nil {
+		e.OnRestart(ia)
+	}
+}
+
+// Summary renders the injection counters deterministically.
+func (e *Engine) Summary() string {
+	return fmt.Sprintf("chaos: flaps=%d gray=%d spikes=%d crashes=%d",
+		e.Injections[Flap], e.Injections[Gray], e.Injections[Spike], e.Injections[CrashAS])
+}

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"scionmpr/internal/addr"
@@ -79,12 +80,19 @@ type Fabric struct {
 	IntraASDelay func(ia addr.IA, in, out addr.IfID) time.Duration
 
 	failed map[topology.LinkID]bool
+	// loss holds per-link gray-failure drop probabilities: packets are
+	// shed silently, with no SCMP — the defining property of a gray
+	// failure, which senders can only detect end to end.
+	loss    map[topology.LinkID]float64
+	lossRNG *rand.Rand
 
 	deliver map[addr.IA]DeliverFunc
 	scmp    map[addr.IA]SCMPFunc
 
 	// Stats
 	Forwarded, Delivered, DroppedBadMAC, DroppedNoRoute, DroppedTooBig, Revocations uint64
+	// DroppedGray counts packets silently shed by gray failures.
+	DroppedGray uint64
 }
 
 // NewFabric registers a router handler for every AS in the topology.
@@ -94,6 +102,7 @@ func NewFabric(net *sim.Network, keys KeyFunc) *Fabric {
 		Topo:    net.Topo,
 		Keys:    keys,
 		failed:  map[topology.LinkID]bool{},
+		loss:    map[topology.LinkID]float64{},
 		deliver: map[addr.IA]DeliverFunc{},
 		scmp:    map[addr.IA]SCMPFunc{},
 	}
@@ -136,6 +145,48 @@ func (f *Fabric) RestoreLink(id topology.LinkID) { delete(f.failed, id) }
 
 // Failed reports whether a link is failed.
 func (f *Fabric) Failed(id topology.LinkID) bool { return f.failed[id] }
+
+// SetLinkLoss sets the gray-failure drop probability of a link (both
+// directions); rate <= 0 heals the link, rate >= 1 drops everything.
+func (f *Fabric) SetLinkLoss(id topology.LinkID, rate float64) {
+	if rate <= 0 {
+		delete(f.loss, id)
+		return
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	f.loss[id] = rate
+}
+
+// LinkLoss returns the gray-failure drop probability of a link.
+func (f *Fabric) LinkLoss(id topology.LinkID) float64 { return f.loss[id] }
+
+// SeedLoss reseeds the gray-failure randomness so drop decisions are
+// reproducible under a chosen seed (a fixed default seed is used
+// otherwise; the event loop is single-threaded either way).
+func (f *Fabric) SeedLoss(seed int64) { f.lossRNG = rand.New(rand.NewSource(seed)) }
+
+func (f *Fabric) dropByLoss(rate float64) bool {
+	if f.lossRNG == nil {
+		f.lossRNG = rand.New(rand.NewSource(1))
+	}
+	return f.lossRNG.Float64() < rate
+}
+
+// SetLinkDelay overrides the one-way latency of a link on the underlying
+// transport, modelling a latency spike; d <= 0 restores the default.
+func (f *Fabric) SetLinkDelay(id topology.LinkID, d time.Duration) {
+	f.Net.SetLinkDelay(id, d)
+}
+
+// ResetCounters zeroes all forwarding statistics (e.g. after a warm-up
+// phase), mirroring sim.Network.ResetCounters on the data plane.
+func (f *Fabric) ResetCounters() {
+	f.Forwarded, f.Delivered = 0, 0
+	f.DroppedBadMAC, f.DroppedNoRoute, f.DroppedTooBig = 0, 0, 0
+	f.Revocations, f.DroppedGray = 0, 0
+}
 
 // Inject sends a packet from its source AS (HopIdx 0). The source border
 // router performs the first egress lookup immediately.
@@ -224,6 +275,10 @@ func (f *Fabric) forwardFrom(local addr.IA, pkt *Packet) {
 			Offender: local,
 			Orig:     pkt,
 		})
+		return
+	}
+	if rate := f.loss[link.ID]; rate > 0 && f.dropByLoss(rate) {
+		f.DroppedGray++
 		return
 	}
 	f.Forwarded++

@@ -12,6 +12,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"sync"
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/combinator"
@@ -39,16 +41,35 @@ type FwdPath struct {
 // KeyFunc returns the forwarding key of an AS (nil if unknown).
 type KeyFunc func(addr.IA) []byte
 
+// macStates reuses one keyed HMAC state per forwarding key: hop-field
+// verification runs once per hop for every packet a border router sees,
+// and re-deriving the HMAC inner/outer pads there dominated data-plane
+// CPU under load. Reset on a keyed state restores the pads without
+// re-keying, and produces identical MACs.
+var macStates = struct {
+	sync.Mutex
+	m map[string]hash.Hash
+}{m: map[string]hash.Hash{}}
+
 // hopMAC computes the hop field MAC over (IA, in, out) with the AS key.
 func hopMAC(key []byte, h combinator.Hop) [MACLen]byte {
 	var buf [12]byte
 	binary.BigEndian.PutUint64(buf[:8], h.IA.Uint64())
 	binary.BigEndian.PutUint16(buf[8:10], uint16(h.In))
 	binary.BigEndian.PutUint16(buf[10:12], uint16(h.Out))
-	m := hmac.New(sha256.New, key)
+	macStates.Lock()
+	m := macStates.m[string(key)]
+	if m == nil {
+		m = hmac.New(sha256.New, key)
+		macStates.m[string(key)] = m
+	} else {
+		m.Reset()
+	}
 	m.Write(buf[:])
+	var sum [sha256.Size]byte
 	var out [MACLen]byte
-	copy(out[:], m.Sum(nil))
+	copy(out[:], m.Sum(sum[:0]))
+	macStates.Unlock()
 	return out
 }
 

@@ -82,6 +82,14 @@ type Server struct {
 	// up are the local AS's own up-segments (local path server role).
 	up []*seg.PCB
 
+	// revoked holds links under an active timed revocation, mapped to
+	// the expiry of the revocation state. Segments over those links are
+	// filtered from lookups but stay stored, so once the revocation
+	// lapses (link repaired, or revocation simply timed out per paper
+	// §4.1 — revocations are soft state) the paths reappear without
+	// waiting for the next beaconing interval to re-register them.
+	revoked map[seg.LinkKey]sim.Time
+
 	cache *Cache
 
 	// Stats for the Table 1 experiment.
@@ -93,10 +101,11 @@ func NewServer(local addr.IA, isCore bool, cacheTTL sim.Time) *Server {
 	return &Server{
 		Local: local,
 		Core:  isCore,
-		down:  map[addr.IA][]*seg.PCB{},
-		core:  map[addr.IA][]*seg.PCB{},
-		up:    nil,
-		cache: NewCache(cacheTTL),
+		down:    map[addr.IA][]*seg.PCB{},
+		core:    map[addr.IA][]*seg.PCB{},
+		up:      nil,
+		revoked: map[seg.LinkKey]sim.Time{},
+		cache:   NewCache(cacheTTL),
 	}
 }
 
@@ -177,11 +186,12 @@ func (s *Server) Deregister(segment *seg.PCB) bool {
 // lifetimes and the Zipf distribution of destinations).
 func (s *Server) LookupDown(now sim.Time, dst addr.IA) []*seg.PCB {
 	s.Lookups++
+	s.expireRevocations(now)
 	if segs, ok := s.cache.Get(now, cacheKey{typ: Down, dst: dst}); ok {
 		s.CacheHits++
 		return segs
 	}
-	segs := valid(now, s.down[dst])
+	segs := s.live(now, s.down[dst])
 	s.cache.Put(now, cacheKey{typ: Down, dst: dst}, segs)
 	return segs
 }
@@ -189,11 +199,12 @@ func (s *Server) LookupDown(now sim.Time, dst addr.IA) []*seg.PCB {
 // LookupCore answers a core-segment query for a core AS.
 func (s *Server) LookupCore(now sim.Time, dst addr.IA) []*seg.PCB {
 	s.Lookups++
+	s.expireRevocations(now)
 	if segs, ok := s.cache.Get(now, cacheKey{typ: Core, dst: dst}); ok {
 		s.CacheHits++
 		return segs
 	}
-	segs := valid(now, s.core[dst])
+	segs := s.live(now, s.core[dst])
 	s.cache.Put(now, cacheKey{typ: Core, dst: dst}, segs)
 	return segs
 }
@@ -202,7 +213,55 @@ func (s *Server) LookupCore(now sim.Time, dst addr.IA) []*seg.PCB {
 // paper §4.1 "Endpoint Path Lookup").
 func (s *Server) LookupUp(now sim.Time) []*seg.PCB {
 	s.Lookups++
-	return valid(now, s.up)
+	s.expireRevocations(now)
+	return s.live(now, s.up)
+}
+
+// live filters like valid and additionally hides segments that traverse
+// an actively revoked link.
+func (s *Server) live(now sim.Time, in []*seg.PCB) []*seg.PCB {
+	if len(s.revoked) == 0 {
+		return valid(now, in)
+	}
+	var keep []*seg.PCB
+	for _, p := range in {
+		if s.revokedSegment(p) {
+			continue
+		}
+		keep = append(keep, p)
+	}
+	return valid(now, keep)
+}
+
+func (s *Server) revokedSegment(p *seg.PCB) bool {
+	for _, lk := range p.Links() {
+		if _, ok := s.revoked[lk]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// expireRevocations drops revocation state that has timed out; if any
+// lapses the lookup cache is flushed so reinstated paths become visible
+// immediately.
+func (s *Server) expireRevocations(now sim.Time) {
+	changed := false
+	for lk, exp := range s.revoked {
+		if now >= exp {
+			delete(s.revoked, lk)
+			changed = true
+		}
+	}
+	if changed {
+		s.cache.Flush()
+	}
+}
+
+// RevokedActive reports whether link is under an unexpired revocation.
+func (s *Server) RevokedActive(now sim.Time, link seg.LinkKey) bool {
+	exp, ok := s.revoked[link]
+	return ok && now < exp
 }
 
 func valid(now sim.Time, in []*seg.PCB) []*seg.PCB {
@@ -219,6 +278,42 @@ func valid(now sim.Time, in []*seg.PCB) []*seg.PCB {
 		return out[i].HopsKey() < out[j].HopsKey()
 	})
 	return out
+}
+
+// RevokeFor places link under a timed revocation: segments over it are
+// hidden from lookups until the revocation expires at now+ttl, then
+// reinstated automatically (paper §4.1: revocations are soft state that
+// must be refreshed while the failure persists). It returns the number
+// of currently stored segments the revocation hides. A ttl <= 0 falls
+// back to the permanent Revoke.
+func (s *Server) RevokeFor(now sim.Time, link seg.LinkKey, ttl sim.Time) int {
+	if ttl <= 0 {
+		return s.Revoke(link)
+	}
+	exp := now + ttl
+	if cur, ok := s.revoked[link]; !ok || exp > cur {
+		s.revoked[link] = exp
+	}
+	affected := 0
+	count := func(list []*seg.PCB) {
+		for _, p := range list {
+			if containsLink(p, link) {
+				affected++
+			}
+		}
+	}
+	for dst := range s.down {
+		count(s.down[dst])
+	}
+	for dst := range s.core {
+		count(s.core[dst])
+	}
+	count(s.up)
+	s.cache.Flush()
+	if affected > 0 {
+		s.Revocations++
+	}
+	return affected
 }
 
 // Revoke removes every stored segment (down, core, up) containing the

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -56,10 +57,18 @@ type Network struct {
 	// delays holds per-link latency overrides; links without an entry use
 	// the network-wide Delay.
 	delays map[topology.LinkID]time.Duration
+	// loss holds per-link drop probabilities in [0, 1], modelling gray
+	// failures: the link is up but silently sheds a fraction of messages.
+	loss map[topology.LinkID]float64
+	// lossRNG drives gray-failure drop decisions; the event loop is
+	// single-threaded, so a seeded source makes every run reproducible.
+	lossRNG *rand.Rand
 	// Dropped counts messages to ASes with no registered handler.
 	Dropped uint64
 	// DroppedOnFailedLinks counts messages lost to failed links.
 	DroppedOnFailedLinks uint64
+	// DroppedByLoss counts messages shed by gray failures.
+	DroppedByLoss uint64
 }
 
 // NewNetwork creates a network over topo with the given one-way link latency.
@@ -72,6 +81,7 @@ func NewNetwork(s *Simulator, topo *topology.Graph, delay time.Duration) *Networ
 		counters: map[IfKey]*Counter{},
 		failed:   map[topology.LinkID]bool{},
 		delays:   map[topology.LinkID]time.Duration{},
+		loss:     map[topology.LinkID]float64{},
 	}
 }
 
@@ -92,6 +102,35 @@ func (n *Network) LinkDelay(id topology.LinkID) time.Duration {
 		return d
 	}
 	return n.Delay
+}
+
+// SetLinkLoss sets the gray-failure drop probability of a link (both
+// directions); rate <= 0 heals the link, rate >= 1 drops everything.
+func (n *Network) SetLinkLoss(id topology.LinkID, rate float64) {
+	if rate <= 0 {
+		delete(n.loss, id)
+		return
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.loss[id] = rate
+}
+
+// LinkLoss returns the gray-failure drop probability of a link.
+func (n *Network) LinkLoss(id topology.LinkID) float64 { return n.loss[id] }
+
+// SeedLoss reseeds the gray-failure randomness. Call it before the run
+// when drop decisions must be reproducible under a chosen seed; without
+// it the network uses a fixed default seed.
+func (n *Network) SeedLoss(seed int64) { n.lossRNG = rand.New(rand.NewSource(seed)) }
+
+// dropByLoss makes one gray-failure drop decision.
+func (n *Network) dropByLoss(rate float64) bool {
+	if n.lossRNG == nil {
+		n.lossRNG = rand.New(rand.NewSource(1))
+	}
+	return n.lossRNG.Float64() < rate
 }
 
 // FailLink drops all future messages on the link (both directions).
@@ -126,6 +165,10 @@ func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
 	}
 	if n.failed[link.ID] {
 		n.DroppedOnFailedLinks++
+		return
+	}
+	if rate := n.loss[link.ID]; rate > 0 && n.dropByLoss(rate) {
+		n.DroppedByLoss++
 		return
 	}
 	size := msg.WireLen()
@@ -213,8 +256,11 @@ func (n *Network) PerInterfaceTxBytes() []uint64 {
 	return out
 }
 
-// ResetCounters clears all traffic counters (e.g. after a warm-up phase).
+// ResetCounters clears all traffic counters (e.g. after a warm-up phase),
+// including every drop counter, so measurement windows start from zero.
 func (n *Network) ResetCounters() {
 	n.counters = map[IfKey]*Counter{}
 	n.Dropped = 0
+	n.DroppedOnFailedLinks = 0
+	n.DroppedByLoss = 0
 }

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCAIDA hardens the serial-2 parser against arbitrary input: it
+// must never panic, and whenever it accepts an input, the resulting graph
+// must be internally consistent and survive a write/re-parse round trip.
+func FuzzParseCAIDA(f *testing.F) {
+	seeds := []string{
+		// Plain AS-rel entries, both relationship codes, with comments.
+		"# serial-2\n1|2|-1\n2|3|0\n",
+		// Geo-expanded duplicates become parallel links.
+		"10|20|0\n10|20|0\n10|20|-1\n",
+		// Optional fourth field (inference source) is ignored.
+		"174|3356|0|bgp\n174|1299|-1|mlp\n",
+		// Whitespace and blank lines.
+		"\n   \n# x\n  5|6|-1  \n",
+		// Malformed: too few fields, bad AS numbers, bad codes, self-link.
+		"1|2\n",
+		"x|2|0\n",
+		"1|y|-1\n",
+		"1|2|7\n",
+		"1|2|zero\n",
+		"3|3|0\n",
+		"18446744073709551615|1|0\n",
+		"-1|2|0\n",
+		strings.Repeat("1|2|0\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseCAIDA(bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		// Accepted input: the graph must be consistent...
+		if len(g.IAs()) != g.NumASes() {
+			t.Fatalf("IAs()=%d vs NumASes()=%d", len(g.IAs()), g.NumASes())
+		}
+		for _, l := range g.Links {
+			if l.A == l.B {
+				t.Fatalf("self-link accepted: %v", l)
+			}
+			if g.AS(l.A) == nil || g.AS(l.B) == nil {
+				t.Fatalf("link %d references unknown AS", l.ID)
+			}
+			if g.LinkByID(l.ID) != l {
+				t.Fatalf("LinkByID(%d) does not round-trip", l.ID)
+			}
+		}
+		// ...and round-trip through the writer without changing shape.
+		var buf bytes.Buffer
+		if err := WriteCAIDA(&buf, g); err != nil {
+			t.Fatalf("WriteCAIDA: %v", err)
+		}
+		g2, err := ParseCAIDA(&buf, 1)
+		if err != nil {
+			t.Fatalf("re-parse of written graph: %v\n%s", err, buf.Bytes())
+		}
+		if g.NumASes() != g2.NumASes() || len(g.Links) != len(g2.Links) {
+			t.Fatalf("round trip changed shape: %d/%d ASes, %d/%d links",
+				g.NumASes(), g2.NumASes(), len(g.Links), len(g2.Links))
+		}
+	})
+}

@@ -307,6 +307,27 @@ func (g *Graph) LinkByIf(ia addr.IA, ifID addr.IfID) *Link {
 	return nil
 }
 
+// LinkByID resolves a link ID to the link, or nil if no such link
+// exists. IDs are allocated sequentially starting at 1, so this is a
+// direct index into the link slice.
+func (g *Graph) LinkByID(id LinkID) *Link {
+	i := int(id) - 1
+	if i < 0 || i >= len(g.Links) {
+		return nil
+	}
+	if l := g.Links[i]; l.ID == id {
+		return l
+	}
+	// Defensive fallback for graphs with non-sequential IDs (e.g. built
+	// by hand in tests).
+	for _, l := range g.Links {
+		if l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
 // CustomerCone returns the size of ia's customer cone (ia itself plus all
 // direct and indirect customers), the metric CAIDA AS-Rank uses and the
 // paper uses to pick intra-ISD core ASes (§5.1).

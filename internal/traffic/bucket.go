@@ -168,10 +168,24 @@ func (m *LinkModel) Bottleneck(path []dataplane.LinkRef) float64 {
 // granting the minimum the buckets allow (the bottleneck share). When
 // nothing can be granted it returns the time to wait before retrying.
 func (m *LinkModel) Admit(now sim.Time, path []dataplane.LinkRef, want int64) (granted int64, wait time.Duration) {
+	return m.AdmitAtLeast(now, path, want, 0)
+}
+
+// AdmitAtLeast is Admit with a grant floor: instead of trickling out
+// whatever credit remains — which under contention degrades into a storm
+// of fragment-sized grants, each carrying a MAC-verified head packet —
+// it grants nothing until at least floor bytes are available on every
+// bucket, and advertises the wait until they will be. The floor is
+// clamped to the path's shallowest bucket so it can always be met.
+// A floor of zero or one is plain Admit.
+func (m *LinkModel) AdmitAtLeast(now sim.Time, path []dataplane.LinkRef, want, floor int64) (granted int64, wait time.Duration) {
 	if want <= 0 || len(path) == 0 {
 		return 0, 0
 	}
 	g := float64(want)
+	// need is the smallest acceptable grant: the floor, clamped so the
+	// shallowest bucket on the path can still satisfy it.
+	need := math.Min(float64(floor), float64(want))
 	var bottleneck *bucket
 	for _, ref := range path {
 		b := m.bucket(ref, now)
@@ -180,9 +194,16 @@ func (m *LinkModel) Admit(now sim.Time, path []dataplane.LinkRef, want int64) (g
 			g = b.tokens
 			bottleneck = b
 		}
+		if b.burst < need {
+			need = b.burst
+		}
 	}
 	g = math.Floor(g)
-	if g < 1 {
+	if g < 1 || g < math.Floor(need) {
+		// Wait until the floor (or, without one, the full want) fits.
+		if need > 1 {
+			return 0, bottleneck.eta(need)
+		}
 		return 0, bottleneck.eta(float64(want))
 	}
 	for _, ref := range path {

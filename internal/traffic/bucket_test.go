@@ -119,3 +119,39 @@ func TestRelCapacityDeterministicAndBounded(t *testing.T) {
 		t.Error("default capacity not positive")
 	}
 }
+
+func TestAdmitAtLeastHoldsForFloor(t *testing.T) {
+	refs := twoLinkPath(t)
+	m := NewLinkModel(UniformCapacity(1e6)) // 50k-token burst
+	// Leave 20k tokens, below a 30k floor: nothing trickles out.
+	if g, _ := m.Admit(0, refs, 30_000); g != 30_000 {
+		t.Fatalf("setup grant: %d", g)
+	}
+	granted, wait := m.AdmitAtLeast(0, refs, 64_000, 30_000)
+	if granted != 0 || wait <= 0 {
+		t.Fatalf("below floor: granted=%d wait=%v", granted, wait)
+	}
+	// The advertised wait targets the floor, not the full want: 10k
+	// missing tokens at 1 MB/s is 10ms.
+	if wait != 10*time.Millisecond {
+		t.Errorf("wait=%v, want 10ms (time to floor)", wait)
+	}
+	// Once the floor fits, the grant is everything available.
+	granted, _ = m.AdmitAtLeast(sim.Time(wait), refs, 64_000, 30_000)
+	if granted != 30_000 {
+		t.Errorf("at floor: granted=%d, want 30000", granted)
+	}
+	// A floor above the burst depth is clamped, not a deadlock.
+	m.Admit(sim.Time(wait), refs, 1<<30) // drain
+	now := sim.Time(200 * time.Millisecond)
+	granted, _ = m.AdmitAtLeast(now, refs, 1<<30, 1<<30)
+	if granted != 50_000 {
+		t.Errorf("clamped floor: granted=%d, want full 50k burst", granted)
+	}
+	// Floor zero is plain Admit: partial grants flow again.
+	now += sim.Time(10 * time.Millisecond) // 10k tokens refilled
+	granted, _ = m.AdmitAtLeast(now, refs, 64_000, 0)
+	if granted != 10_000 {
+		t.Errorf("floor 0: granted=%d, want the 10k partial grant", granted)
+	}
+}

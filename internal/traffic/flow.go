@@ -65,7 +65,16 @@ type Flow struct {
 	switches  int
 	lookups   int
 	requeries int
+	reprobes  int
 	retries   int
+
+	// Outage tracking: a window opens when a previously connected flow
+	// drops to zero usable paths and closes when it regains one; the
+	// closed windows are the flow's time-to-reconnect samples.
+	everConnected bool
+	inOutage      bool
+	outageStart   sim.Time
+	outages       []time.Duration
 
 	// wakePending/wakeAt dedupe scheduled pump wake-ups.
 	wakePending bool
@@ -106,8 +115,28 @@ func (f *Flow) PathSwitches() int { return f.switches }
 // its initial one (forced switches due to revocation or path exhaustion).
 func (f *Flow) Requeries() int { return f.requeries }
 
+// Reprobes returns how often the flow refreshed its path set after
+// revocation knowledge expired (mid-flow readoption of healed paths).
+func (f *Flow) Reprobes() int { return f.reprobes }
+
 // NumPaths returns the current path-set size.
 func (f *Flow) NumPaths() int { return len(f.paths) }
+
+// Outages returns the flow's completed disconnection windows — the time
+// from losing the last usable path to regaining one (time-to-reconnect).
+func (f *Flow) Outages() []time.Duration { return f.outages }
+
+// Disconnected reports whether the flow is currently inside an outage.
+func (f *Flow) Disconnected() bool { return f.inOutage }
+
+// OpenOutage returns how long the flow has been disconnected as of now
+// (zero when connected) — the still-open window Outages does not include.
+func (f *Flow) OpenOutage(now sim.Time) time.Duration {
+	if !f.inOutage || now <= f.outageStart {
+		return 0
+	}
+	return time.Duration(now - f.outageStart)
+}
 
 // FCT returns the flow completion time (0 until done).
 func (f *Flow) FCT() time.Duration {

@@ -17,6 +17,8 @@ package traffic
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"math/rand"
 	"time"
 
 	"scionmpr/internal/addr"
@@ -45,13 +47,38 @@ type Config struct {
 	Scheduler func() Scheduler
 	// ChunkSize is the fluid admission quantum (default 64 KiB).
 	ChunkSize int64
+	// MinGrant is the smallest admission the engine accepts from the
+	// link model (0 = any). Under path contention partial grants shrink
+	// toward single bytes, each carrying a MAC-verified head packet; a
+	// floor trades a bounded wait for chunk-sized admissions instead.
+	MinGrant int64
 	// MaxPaths caps the per-flow path set (default 8).
 	MaxPaths int
-	// RetryDelay spaces path re-queries when none are usable (default 50ms).
+	// RetryDelay is the base spacing of path re-queries when none are
+	// usable (default 50ms).
 	RetryDelay time.Duration
+	// RetryBackoff multiplies the re-query delay after every consecutive
+	// empty lookup (capped exponential backoff, default 2; 1 keeps the
+	// delay constant).
+	RetryBackoff float64
+	// RetryDelayMax caps the backed-off re-query delay (default 2s).
+	RetryDelayMax time.Duration
+	// RetryJitter adds a seeded random extra delay of up to this
+	// fraction of the backed-off delay, de-synchronizing re-queries of
+	// flows that lost their paths simultaneously (default 0.2; negative
+	// disables jitter).
+	RetryJitter float64
 	// MaxRetries bounds consecutive empty re-queries before a flow fails
 	// (default 5).
 	MaxRetries int
+	// RevocationTTL bounds how long an SCMP-learned link failure keeps
+	// filtering paths at the source (default 10s). When it lapses the
+	// engine re-probes affected flows, readopting restored paths
+	// mid-flow; if the link is still down the next head packet re-learns
+	// the failure within one RTT.
+	RevocationTTL time.Duration
+	// Seed drives the re-query jitter (default 1).
+	Seed int64
 }
 
 // Engine runs flows over the fabric. Create with NewEngine, Add flows,
@@ -63,19 +90,27 @@ type Engine struct {
 	byID  map[int]*Flow
 	bySrc map[addr.IA][]*Flow
 	// revoked is each source AS's accumulated link-failure knowledge,
-	// learned from SCMP messages and used to filter re-queried paths (path
-	// servers may lag behind the data plane).
-	revoked map[addr.IA]map[topology.LinkID]bool
+	// learned from SCMP messages and used to filter re-queried paths
+	// (path servers may lag behind the data plane). Entries map to the
+	// expiry of the knowledge: failure state is soft and lapses after
+	// RevocationTTL, at which point affected flows re-probe and readopt
+	// restored paths.
+	revoked map[addr.IA]map[topology.LinkID]sim.Time
 	hooked  map[addr.IA]bool
+	// rng drives re-query jitter; the event loop is single-threaded, so
+	// a seeded source keeps runs reproducible.
+	rng *rand.Rand
 
 	// OnRevocation, if set, observes every SCMP revocation the engine
 	// attributes to one of its flows.
 	OnRevocation func(f *Flow, link topology.LinkID)
 
 	// Revocations counts SCMP revoked-link messages processed; Requeries
-	// counts path re-queries.
+	// counts path re-queries; Reprobes counts opportunistic re-lookups
+	// after revocation state expired.
 	Revocations uint64
 	Requeries   uint64
+	Reprobes    uint64
 }
 
 // NewEngine validates the config and applies defaults.
@@ -98,15 +133,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 50 * time.Millisecond
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2
+	}
+	if cfg.RetryDelayMax <= 0 {
+		cfg.RetryDelayMax = 2 * time.Second
+	}
+	if cfg.RetryJitter == 0 {
+		cfg.RetryJitter = 0.2
+	} else if cfg.RetryJitter < 0 {
+		cfg.RetryJitter = 0
+	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
+	}
+	if cfg.RevocationTTL <= 0 {
+		cfg.RevocationTTL = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	return &Engine{
 		cfg:     cfg,
 		byID:    map[int]*Flow{},
 		bySrc:   map[addr.IA][]*Flow{},
-		revoked: map[addr.IA]map[topology.LinkID]bool{},
+		revoked: map[addr.IA]map[topology.LinkID]sim.Time{},
 		hooked:  map[addr.IA]bool{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
 }
 
@@ -172,12 +225,13 @@ func (e *Engine) requery(f *Flow) {
 	}
 	if len(paths) == 0 {
 		f.retries++
+		e.noteConnectivity(f)
 		if f.retries >= e.cfg.MaxRetries {
 			f.state = flowFailed
 			f.finished = e.cfg.Clock.Now()
 			return
 		}
-		e.cfg.Clock.Schedule(e.cfg.RetryDelay, func() { e.requery(f) })
+		e.cfg.Clock.Schedule(e.retryDelay(f.retries), func() { e.requery(f) })
 		return
 	}
 	f.retries = 0
@@ -188,7 +242,71 @@ func (e *Engine) requery(f *Flow) {
 	f.paths = paths
 	f.infos = f.infos[:0]
 	f.lastPath = -1
+	e.noteConnectivity(f)
 	e.wakeAt(f, e.cfg.Clock.Now())
+}
+
+// retryDelay computes the spacing before the attempt-th consecutive
+// empty re-query: capped exponential backoff plus seeded jitter, so a
+// flow with zero healthy paths does not hot-loop the path server and
+// flows cut off together do not re-query in lockstep.
+func (e *Engine) retryDelay(attempt int) time.Duration {
+	d := float64(e.cfg.RetryDelay) * math.Pow(e.cfg.RetryBackoff, float64(attempt-1))
+	if max := float64(e.cfg.RetryDelayMax); d > max {
+		d = max
+	}
+	if e.cfg.RetryJitter > 0 {
+		d += d * e.cfg.RetryJitter * e.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// reprobe refreshes a flow's path set opportunistically after
+// revocation knowledge lapsed: a successful lookup replaces the set, so
+// restored paths are readopted mid-flow. Unlike requery, a fruitless
+// lookup keeps the current paths and never counts toward the retry
+// limit — the flow keeps sending on whatever it has.
+func (e *Engine) reprobe(f *Flow) {
+	if f.state != flowActive {
+		return
+	}
+	fps, err := e.cfg.Provider(f.spec.Src, f.spec.Dst)
+	if err != nil {
+		return
+	}
+	paths := e.buildPaths(f.spec.Src, fps)
+	if len(paths) == 0 {
+		return
+	}
+	f.lookups++
+	f.reprobes++
+	e.Reprobes++
+	f.retries = 0
+	f.paths = paths
+	f.infos = f.infos[:0]
+	f.lastPath = -1
+	e.noteConnectivity(f)
+	e.wakeAt(f, e.cfg.Clock.Now())
+}
+
+// noteConnectivity tracks disconnection windows: an outage opens when a
+// previously connected flow reaches zero usable paths and closes when
+// it regains one. Closed windows are the flow's time-to-reconnect
+// samples.
+func (e *Engine) noteConnectivity(f *Flow) {
+	now := e.cfg.Clock.Now()
+	if f.usablePaths() > 0 {
+		if f.inOutage {
+			f.inOutage = false
+			f.outages = append(f.outages, time.Duration(now-f.outageStart))
+		}
+		f.everConnected = true
+		return
+	}
+	if f.everConnected && !f.inOutage {
+		f.inOutage = true
+		f.outageStart = now
+	}
 }
 
 // buildPaths resolves forwarding paths against topology and capacity,
@@ -207,7 +325,7 @@ func (e *Engine) buildPaths(src addr.IA, fps []*dataplane.FwdPath) []*flowPath {
 		bad := false
 		var delay time.Duration
 		for _, ref := range links {
-			if known[ref.Link.ID] {
+			if _, revoked := known[ref.Link.ID]; revoked {
 				bad = true
 				break
 			}
@@ -297,7 +415,7 @@ func (e *Engine) pump(f *Flow) {
 	if want > e.cfg.ChunkSize {
 		want = e.cfg.ChunkSize
 	}
-	granted, wait := e.cfg.Links.Admit(now, p.links, want)
+	granted, wait := e.cfg.Links.AdmitAtLeast(now, p.links, want, e.cfg.MinGrant)
 	if granted == 0 {
 		e.wakeAt(f, now+sim.Time(wait))
 		return
@@ -415,10 +533,16 @@ func (e *Engine) handleSCMP(src addr.IA, msg *dataplane.SCMP) {
 	if link != nil {
 		known := e.revoked[src]
 		if known == nil {
-			known = map[topology.LinkID]bool{}
+			known = map[topology.LinkID]sim.Time{}
 			e.revoked[src] = known
 		}
-		known[link.ID] = true
+		// Failure knowledge is soft state: it expires after
+		// RevocationTTL (each fresh SCMP refreshes it), and on expiry
+		// the source re-probes so healed paths come back into use.
+		exp := e.cfg.Clock.Now() + sim.Time(e.cfg.RevocationTTL)
+		known[link.ID] = exp
+		id := link.ID
+		e.cfg.Clock.At(exp, func() { e.expireRevocation(src, id, exp) })
 	}
 	// Rewind the lost chunk on the path that carried the head packet.
 	for _, p := range f.paths {
@@ -460,10 +584,28 @@ func (e *Engine) handleSCMP(src addr.IA, msg *dataplane.SCMP) {
 				}
 			}
 			if dirty || g == f {
+				e.noteConnectivity(g)
 				e.wakeAt(g, e.cfg.Clock.Now())
 			}
 		}
 		return
 	}
+	e.noteConnectivity(f)
 	e.wakeAt(f, e.cfg.Clock.Now())
+}
+
+// expireRevocation lapses one piece of link-failure knowledge at src,
+// unless a fresher SCMP refreshed it meanwhile, and re-probes the
+// source's active flows so reinstated paths are readopted.
+func (e *Engine) expireRevocation(src addr.IA, id topology.LinkID, exp sim.Time) {
+	known := e.revoked[src]
+	if known == nil || known[id] != exp {
+		return
+	}
+	delete(known, id)
+	for _, f := range e.bySrc[src] {
+		if f.state == flowActive {
+			e.reprobe(f)
+		}
+	}
 }

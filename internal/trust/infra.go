@@ -75,6 +75,7 @@ type Infra struct {
 	mode    Mode
 	signers map[addr.IA]Signer
 	secrets map[addr.IA][]byte // sized mode
+	fwdKeys map[addr.IA][]byte // derived once; read per hop-field MAC
 	pubs    map[addr.IA]*ecdsa.PublicKey
 	trcs    map[addr.ISD]*TRC
 	certs   map[addr.IA]*Certificate
@@ -88,6 +89,7 @@ func NewInfra(topo *topology.Graph, mode Mode) (*Infra, error) {
 		mode:    mode,
 		signers: map[addr.IA]Signer{},
 		secrets: map[addr.IA][]byte{},
+		fwdKeys: map[addr.IA][]byte{},
 		pubs:    map[addr.IA]*ecdsa.PublicKey{},
 		trcs:    map[addr.ISD]*TRC{},
 		certs:   map[addr.IA]*Certificate{},
@@ -125,6 +127,10 @@ func NewInfra(topo *topology.Graph, mode Mode) (*Infra, error) {
 }
 
 func (inf *Infra) addAS(ia addr.IA) error {
+	// Derived once here: border routers read this key on every hop-field
+	// MAC, which dominates the data-plane hot path under load.
+	fh := sha512.Sum384([]byte(fmt.Sprintf("scionmpr-fwd-%s", ia)))
+	inf.fwdKeys[ia] = fh[:32]
 	switch inf.mode {
 	case ECDSA:
 		s, err := NewECDSASigner(ia)
@@ -165,11 +171,7 @@ func (inf *Infra) SignerFor(ia addr.IA) Signer { return inf.signers[ia] }
 // hop fields (packet-carried forwarding state). Border routers of the AS
 // share this key; it never leaves the AS. Returns nil for unknown ASes.
 func (inf *Infra) ForwardingKey(ia addr.IA) []byte {
-	if _, known := inf.signers[ia]; !known {
-		return nil
-	}
-	h := sha512.Sum384([]byte(fmt.Sprintf("scionmpr-fwd-%s", ia)))
-	return h[:32]
+	return inf.fwdKeys[ia]
 }
 
 // TRCFor returns the TRC of an ISD, or nil.

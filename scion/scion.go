@@ -62,6 +62,14 @@ type Options struct {
 	LinkDelay time.Duration
 	// Verify enables cryptographic verification of received PCBs.
 	Verify bool
+	// RevocationTTL bounds how long a link revocation hides path
+	// segments at the path servers. Revocations are soft state (paper
+	// §4.1): when the TTL lapses, previously revoked paths are
+	// reinstated in lookups — if the link is still down, the next use
+	// triggers a fresh SCMP revocation. Zero selects the default (10s
+	// of data-plane time); negative makes revocations permanent (the
+	// pre-chaos behavior).
+	RevocationTTL time.Duration
 }
 
 // DefaultOptions returns the paper-aligned defaults.
@@ -74,6 +82,7 @@ func DefaultOptions() Options {
 		Interval:           10 * time.Minute,
 		Lifetime:           6 * time.Hour,
 		LinkDelay:          5 * time.Millisecond,
+		RevocationTTL:      10 * time.Second,
 	}
 }
 
@@ -98,6 +107,10 @@ type Network struct {
 	svcHandlers map[addr.IA]func(*dataplane.Packet)
 
 	pathCache map[[2]uint64][]*dataplane.FwdPath
+	// revExpiries holds pending revocation-expiry times (ascending); the
+	// path cache is flushed lazily when the clock passes one, so
+	// reinstated segments become visible to cached lookups.
+	revExpiries []sim.Time
 }
 
 // NewNetwork bootstraps the control plane on topo and prepares the data
@@ -128,6 +141,9 @@ func NewNetwork(topo *topology.Graph, opts Options) (*Network, error) {
 	}
 	if opts.LinkDelay <= 0 {
 		opts.LinkDelay = 5 * time.Millisecond
+	}
+	if opts.RevocationTTL == 0 {
+		opts.RevocationTTL = 10 * time.Second
 	}
 
 	infra, err := trust.NewInfra(topo, trust.Sized)
@@ -298,11 +314,12 @@ func (n *Network) Paths(src, dst addr.IA) ([]*dataplane.FwdPath, error) {
 	if src == dst {
 		return nil, fmt.Errorf("scion: intra-AS communication needs no SCION path")
 	}
+	n.expirePathCache()
 	key := [2]uint64{src.Uint64(), dst.Uint64()}
 	if cached, ok := n.pathCache[key]; ok {
 		return cached, nil
 	}
-	now := n.intraRun.End
+	now := n.now()
 
 	ups, cores, downs := n.lookupSegments(now, src, dst)
 	cands := n.combineAll(src, dst, ups, cores, downs)
@@ -330,6 +347,26 @@ func (n *Network) Paths(src, dst addr.IA) ([]*dataplane.FwdPath, error) {
 	}
 	n.pathCache[key] = out
 	return out, nil
+}
+
+// now is the control-plane timestamp for path lookups: the bootstrap
+// beaconing horizon plus the elapsed data-plane time, so timed
+// revocation state ages with the live clock while segment lifetimes
+// (hours) remain comfortably valid.
+func (n *Network) now() sim.Time { return n.intraRun.End + n.clock.Now() }
+
+// expirePathCache flushes the (src,dst) path cache once any pending
+// revocation expiry has passed, making reinstated segments visible.
+func (n *Network) expirePathCache() {
+	now := n.now()
+	i := 0
+	for i < len(n.revExpiries) && n.revExpiries[i] <= now {
+		i++
+	}
+	if i > 0 {
+		n.revExpiries = append([]sim.Time(nil), n.revExpiries[i:]...)
+		n.pathCache = map[[2]uint64][]*dataplane.FwdPath{}
+	}
 }
 
 // lookupSegments gathers the up/core/down segment sets for a pair,
@@ -438,15 +475,53 @@ func (n *Network) FailLink(a, b addr.IA, i int) (*topology.Link, error) {
 	}
 	l := links[i]
 	n.fabric.FailLink(l.ID)
+	now := n.now()
+	ttl := sim.Time(n.Opts.RevocationTTL)
 	for _, key := range []seg.LinkKey{{IA: l.A, If: l.AIf}, {IA: l.B, If: l.BIf}} {
 		for _, ps := range n.pathServers {
-			ps.Revoke(key)
+			if ttl > 0 {
+				ps.RevokeFor(now, key, ttl)
+			} else {
+				ps.Revoke(key)
+			}
 		}
 	}
-	n.coreRun.RevokeLink(l)
-	n.intraRun.RevokeLink(l)
+	if ttl > 0 {
+		n.noteRevocationExpiry(now + ttl)
+	} else {
+		// Permanent revocations also empty the beacon stores, the
+		// pre-reinstatement behavior.
+		n.coreRun.RevokeLink(l)
+		n.intraRun.RevokeLink(l)
+	}
 	n.pathCache = map[[2]uint64][]*dataplane.FwdPath{}
 	return l, nil
+}
+
+// RestoreLink repairs the i-th link between a and b on the data plane.
+// Path servers keep their revocation state until it times out
+// (RevocationTTL), after which lookups return the healed paths again —
+// the end-to-end reinstatement sequence.
+func (n *Network) RestoreLink(a, b addr.IA, i int) (*topology.Link, error) {
+	links := n.Topo.LinksBetween(a, b)
+	if i < 0 || i >= len(links) {
+		return nil, fmt.Errorf("scion: no link %d between %s and %s", i, a, b)
+	}
+	l := links[i]
+	n.fabric.RestoreLink(l.ID)
+	return l, nil
+}
+
+// noteRevocationExpiry records a pending expiry, keeping the slice
+// sorted ascending.
+func (n *Network) noteRevocationExpiry(at sim.Time) {
+	i := sort.Search(len(n.revExpiries), func(i int) bool { return n.revExpiries[i] >= at })
+	if i < len(n.revExpiries) && n.revExpiries[i] == at {
+		return
+	}
+	n.revExpiries = append(n.revExpiries, 0)
+	copy(n.revExpiries[i+1:], n.revExpiries[i:])
+	n.revExpiries[i] = at
 }
 
 // ControlPlaneBytes reports the total beaconing overhead spent during
