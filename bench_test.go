@@ -6,6 +6,7 @@
 package scionmpr_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -116,6 +117,34 @@ func BenchmarkFig5IntraISD(b *testing.B) {
 		bytes = res.TotalOverheadBytes()
 	}
 	b.ReportMetric(float64(bytes), "overhead-bytes/run")
+}
+
+// BenchmarkBeaconWorkers measures the parallel scheduler's speedup on
+// the 120-AS intra-ISD beaconing run (every AS is an actor). The results
+// are byte-identical across worker counts — the determinism tests in
+// internal/beacon assert that — so only the wall clock should move.
+func BenchmarkBeaconWorkers(b *testing.B) {
+	full, _ := topos(b)
+	isd, err := topology.BuildISD(full, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var bytes uint64
+			for i := 0; i < b.N; i++ {
+				cfg := beacon.DefaultRunConfig(isd, beacon.IntraMode, core.NewDiversity(core.DefaultParams(5)), 15)
+				cfg.Duration = time.Hour
+				cfg.Workers = w
+				res, err := beacon.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.TotalOverheadBytes()
+			}
+			b.ReportMetric(float64(bytes), "overhead-bytes/run")
+		})
+	}
 }
 
 // BenchmarkFig5BGPConvergence measures the BGP baseline simulation that

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"scionmpr/internal/core"
@@ -36,12 +37,26 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | fig5 | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
+		exp      = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration = flag.Duration("duration", 0, "override beaconing duration")
 		pairs    = flag.Int("pairs", 0, "override sampled AS pairs")
+		ases     = flag.Int("ases", 0, "override topology size; the core/ISD structure scales proportionally")
+		workers  = flag.Int("workers", 0, "simulator workers: 1 sequential, 0 default (SCIONMPR_WORKERS or GOMAXPROCS); output is identical for every setting")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var scale experiments.Scale
 	switch *scaleStr {
@@ -54,12 +69,26 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown scale %q", *scaleStr))
 	}
+	if *ases > 0 {
+		// Preserve the paper's structural ratios at the requested size
+		// (core share ~1/6 of ASes, ISDs of ~10 core ASes each).
+		scale.NumASes = *ases
+		scale.CoreSize = *ases / 6
+		if scale.CoreSize < 4 {
+			scale.CoreSize = 4
+		}
+		scale.NumISDs = scale.CoreSize / 10
+		if scale.NumISDs < 2 {
+			scale.NumISDs = 2
+		}
+	}
 	if *duration > 0 {
 		scale.Duration = *duration
 	}
 	if *pairs > 0 {
 		scale.Pairs = *pairs
 	}
+	scale.Workers = *workers
 
 	runOne := func(name string, f func() error) {
 		fmt.Printf("\n########## %s ##########\n", name)
@@ -82,7 +111,7 @@ func main() {
 			return nil
 		})
 	}
-	if want("fig5") {
+	if want("fig5") || want("overhead") {
 		runOne("fig5", func() error {
 			res, err := experiments.RunFig5(scale)
 			if err != nil {

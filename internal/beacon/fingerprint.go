@@ -1,0 +1,84 @@
+package beacon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"scionmpr/internal/chaos"
+)
+
+// Fingerprint digests every observable of the run — per-server stats and
+// store contents, per-interface traffic counters, drop counters, executed
+// event count, and chaos injection counts — into one SHA-256 value. Two
+// runs of the same configuration must produce identical fingerprints
+// regardless of the simulator's worker count; the determinism regression
+// tests assert exactly that.
+func (r *RunResult) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	// Servers in deterministic topology order: stats plus full store
+	// contents (the store's Entries order is itself deterministic).
+	for _, ia := range r.Cfg.Topo.IAs() {
+		srv := r.Servers[ia]
+		if srv == nil {
+			continue
+		}
+		w64(ia.Uint64())
+		w64(srv.Originated)
+		w64(srv.Propagated)
+		w64(srv.Received)
+		w64(srv.Rejected)
+		w64(srv.DroppedWhileDown)
+		store := srv.Store()
+		for _, origin := range store.Origins() {
+			w64(origin.Uint64())
+			for _, e := range store.Entries(r.End, origin) {
+				enc := e.PCB.Encode()
+				w64(uint64(len(enc)))
+				h.Write(enc)
+				w64(uint64(e.Ingress))
+				w64(uint64(e.ReceivedAt))
+			}
+		}
+	}
+
+	// Network traffic: every interface that saw traffic, in sorted order,
+	// with its full counter, plus the drop counters.
+	for _, k := range r.Net.Interfaces() {
+		c := r.Net.InterfaceCounter(k.IA, k.If)
+		w64(k.IA.Uint64())
+		w64(uint64(k.If))
+		w64(c.TxBytes)
+		w64(c.TxMsgs)
+		w64(c.RxBytes)
+		w64(c.RxMsgs)
+	}
+	w64(r.Net.Dropped)
+	w64(r.Net.DroppedOnFailedLinks)
+	w64(r.Net.DroppedByLoss)
+	w64(r.Net.GrandTotalTx())
+
+	w64(r.Sim.Executed)
+	w64(uint64(r.End))
+
+	if r.Chaos != nil {
+		kinds := make([]int, 0, len(r.Chaos.Injections))
+		for k := range r.Chaos.Injections {
+			kinds = append(kinds, int(k))
+		}
+		sort.Ints(kinds)
+		for _, k := range kinds {
+			w64(uint64(k))
+			w64(r.Chaos.Injections[chaos.Kind(k)])
+		}
+	}
+
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

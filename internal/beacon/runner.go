@@ -43,6 +43,12 @@ type RunConfig struct {
 	// on restore, neighbors re-propagate over the healed link at their
 	// next interval, repopulating the revoked state.
 	Chaos *chaos.Schedule
+	// Workers is the simulator's parallel worker count: 1 forces
+	// sequential execution, 0 resolves the default (SCIONMPR_WORKERS or
+	// GOMAXPROCS). Beacon servers are independent per-AS actors, so
+	// same-timestamp ticks and deliveries run on a worker pool; the
+	// result is byte-identical for every setting (see internal/sim).
+	Workers int
 }
 
 // LinkFailure schedules one link failure during a run. A positive
@@ -100,7 +106,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 	}
 	s := &sim.Simulator{}
+	s.SetWorkers(cfg.Workers)
 	net := sim.NewNetwork(s, cfg.Topo, cfg.LinkDelay)
+	// Each beacon server touches only its own AS's state in its handler
+	// and tick, so ASes are sharded into parallel actors.
+	net.EnableSharding()
 	servers := map[addr.IA]*Server{}
 	var verifier trust.Verifier
 	if cfg.Verify {
@@ -127,7 +137,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	end := sim.Time(cfg.Duration)
 	for _, ia := range cfg.Topo.IAs() {
 		srv := servers[ia]
-		s.Every(0, cfg.Interval, end, srv.Tick)
+		s.EveryShard(net.Shard(ia), 0, cfg.Interval, end, srv.Tick)
 	}
 	revokeAll := func(l *topology.Link) {
 		for _, ia := range cfg.Topo.IAs() {

@@ -68,6 +68,20 @@ type Server struct {
 	Originated, Propagated, Received, Rejected uint64
 	// DroppedWhileDown counts PCBs that arrived while crashed.
 	DroppedWhileDown uint64
+
+	// egress caches the per-neighbor egress link sets. Topology and
+	// policy never change during a run (link failures act at the network
+	// layer, not on the graph), so this is computed once on first use.
+	egress     []neighborLinks
+	egressDone bool
+	// peers caches the static peering advertisement of peerEntries.
+	peers     []seg.PeerEntry
+	peersDone bool
+	// selCands/selIngress are propagate's per-(origin, neighbor)
+	// candidate scratch, reused across ticks to keep the hot path off
+	// the allocator. Safe because selectors copy what they keep.
+	selCands   []*seg.PCB
+	selIngress []addr.IfID
 }
 
 // NewServer creates a beacon server and registers it as the AS's message
@@ -144,8 +158,14 @@ func (s *Server) Tick(now sim.Time) {
 }
 
 // egressLinks returns, per downstream neighbor, the links beaconing may
-// use in the configured mode, in deterministic neighbor order.
-func (s *Server) egressLinks(now sim.Time) []neighborLinks {
+// use in the configured mode, in deterministic neighbor order. The
+// result is computed once and cached: it depends only on topology,
+// mode, and policy, all fixed for the lifetime of a run.
+func (s *Server) egressLinks() []neighborLinks {
+	if s.egressDone {
+		return s.egress
+	}
+	s.egressDone = true
 	local := s.cfg.Local
 	byNeighbor := map[addr.IA][]*topology.Link{}
 	for _, l := range s.cfg.Topo.AS(local).Links {
@@ -166,18 +186,33 @@ func (s *Server) egressLinks(now sim.Time) []neighborLinks {
 		o := l.Other(local)
 		byNeighbor[o] = append(byNeighbor[o], l)
 	}
-	var out []neighborLinks
 	for _, nb := range s.cfg.Topo.Neighbors(local) {
-		if links := byNeighbor[nb]; len(links) > 0 {
-			out = append(out, neighborLinks{Neighbor: nb, Links: links})
+		links := byNeighbor[nb]
+		if len(links) == 0 {
+			continue
 		}
+		nl := neighborLinks{
+			Neighbor: nb,
+			Links:    links,
+			IfIDs:    make([]addr.IfID, len(links)),
+			ByIf:     make(map[addr.IfID]*topology.Link, len(links)),
+		}
+		for i, l := range links {
+			nl.IfIDs[i] = l.LocalIf(local)
+			nl.ByIf[nl.IfIDs[i]] = l
+		}
+		s.egress = append(s.egress, nl)
 	}
-	return out
+	return s.egress
 }
 
 type neighborLinks struct {
 	Neighbor addr.IA
 	Links    []*topology.Link
+	// IfIDs[i] is Links[i].LocalIf(local); ByIf resolves a selected
+	// egress interface back to its link.
+	IfIDs []addr.IfID
+	ByIf  map[addr.IfID]*topology.Link
 }
 
 // originate creates a fresh beacon per egress link, as core ASes initiate
@@ -185,7 +220,7 @@ type neighborLinks struct {
 // interface.
 func (s *Server) originate(now sim.Time) {
 	local := s.cfg.Local
-	for _, nl := range s.egressLinks(now) {
+	for _, nl := range s.egressLinks() {
 		for _, l := range nl.Links {
 			s.segID++
 			p := seg.NewPCB(local, s.segID, now, sim.Time(s.cfg.PCBLifetime))
@@ -203,7 +238,7 @@ func (s *Server) originate(now sim.Time) {
 // beacons and disseminates the chosen combinations.
 func (s *Server) propagate(now sim.Time) {
 	local := s.cfg.Local
-	neighbors := s.egressLinks(now)
+	neighbors := s.egressLinks()
 	if len(neighbors) == 0 {
 		return
 	}
@@ -216,32 +251,35 @@ func (s *Server) propagate(now sim.Time) {
 			if origin == nl.Neighbor {
 				continue // never send the origin its own beacons back
 			}
-			ifaces := make([]addr.IfID, len(nl.Links))
-			linkByIf := make(map[addr.IfID]*topology.Link, len(nl.Links))
-			for i, l := range nl.Links {
-				ifaces[i] = l.LocalIf(local)
-				linkByIf[ifaces[i]] = l
-			}
-			// Filter loops through this neighbor and keep the ingress
-			// association for extension.
-			cands := make([]*seg.PCB, 0, len(entries))
-			ingressOf := make(map[*seg.PCB]addr.IfID, len(entries))
+			// Filter loops through this neighbor into the reused
+			// candidate scratch, keeping the ingress association for
+			// extension (selIngress[i] belongs to selCands[i]).
+			cands := s.selCands[:0]
+			ingress := s.selIngress[:0]
 			for _, e := range entries {
 				if e.PCB.ContainsAS(nl.Neighbor) {
 					continue
 				}
 				cands = append(cands, e.PCB)
-				ingressOf[e.PCB] = e.Ingress
+				ingress = append(ingress, e.Ingress)
 			}
+			s.selCands, s.selIngress = cands, ingress
 			if len(cands) == 0 {
 				continue
 			}
-			for _, sel := range s.cfg.Selector.Select(now, origin, nl.Neighbor, ifaces, cands) {
-				link := linkByIf[sel.Egress]
+			for _, sel := range s.cfg.Selector.Select(now, origin, nl.Neighbor, nl.IfIDs, cands) {
+				link := nl.ByIf[sel.Egress]
 				if link == nil {
 					continue
 				}
-				ext, err := sel.PCB.Extend(s.cfg.Signer, nl.Neighbor, ingressOf[sel.PCB], sel.Egress, s.peerEntries(), s.cfg.MTU)
+				var ingressIf addr.IfID
+				for i := len(cands) - 1; i >= 0; i-- {
+					if cands[i] == sel.PCB {
+						ingressIf = ingress[i]
+						break
+					}
+				}
+				ext, err := sel.PCB.Extend(s.cfg.Signer, nl.Neighbor, ingressIf, sel.Egress, s.peerEntries(), s.cfg.MTU)
 				if err != nil {
 					continue
 				}
@@ -254,23 +292,28 @@ func (s *Server) propagate(now sim.Time) {
 
 // peerEntries advertises the AS's peering links inside its AS entries
 // (only meaningful in intra-ISD beaconing; core beaconing carries none).
+// The result is cached: peering links are static, and Extend shares the
+// slice without mutating it (see the PCB immutability contract).
 func (s *Server) peerEntries() []seg.PeerEntry {
 	if s.cfg.Mode != IntraMode {
 		return nil
 	}
+	if s.peersDone {
+		return s.peers
+	}
+	s.peersDone = true
 	local := s.cfg.Local
-	var out []seg.PeerEntry
 	for _, l := range s.cfg.Topo.AS(local).Links {
 		if l.Rel != topology.PeerOf {
 			continue
 		}
-		out = append(out, seg.PeerEntry{
+		s.peers = append(s.peers, seg.PeerEntry{
 			Peer:    l.Other(local),
 			PeerIf:  l.RemoteIf(local),
 			LocalIf: l.LocalIf(local),
 		})
 	}
-	return out
+	return s.peers
 }
 
 // HandleLinkFailure reacts to an inter-domain link failure: affected

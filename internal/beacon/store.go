@@ -7,6 +7,7 @@
 package beacon
 
 import (
+	"math"
 	"sort"
 
 	"scionmpr/internal/addr"
@@ -30,16 +31,47 @@ type Entry struct {
 // extra capacity. Limit <= 0 means unlimited (the paper's "∞" curves).
 type Store struct {
 	Limit    int
-	byOrigin map[addr.IA]map[string]*Entry
+	byOrigin map[addr.IA]*originSet
+	// origins caches the sorted non-empty origin list (nil = recompute);
+	// propagation asks for it every tick but it only changes when an
+	// origin appears or runs dry.
+	origins []addr.IA
 }
+
+// originSet is one origin's entries plus the bookkeeping that keeps the
+// full-store Insert path off O(Limit) map scans: a lower bound on the
+// earliest stored expiry (no expired-entry sweep can succeed before it)
+// and a cached worst entry (eviction candidate; nil = recompute).
+// Both exploit that an entry's eviction rank (worse) and expiry are
+// immutable once stored.
+type originSet struct {
+	m         map[storeKey]*Entry
+	minExpiry sim.Time
+	worst     *Entry
+	worstKey  storeKey
+	// sorted mirrors m in Entries order (hops ascending, then hop key,
+	// then ingress), maintained incrementally so the per-tick Entries
+	// call is O(1) instead of a sort. nil = rebuild on demand.
+	sorted []*Entry
+}
+
+const maxTime = sim.Time(math.MaxInt64)
 
 // NewStore creates a store with the given per-origin limit.
 func NewStore(limit int) *Store {
-	return &Store{Limit: limit, byOrigin: map[addr.IA]map[string]*Entry{}}
+	return &Store{Limit: limit, byOrigin: map[addr.IA]*originSet{}}
 }
 
-func entryKey(p *seg.PCB, ingress addr.IfID) string {
-	return p.HopsKeyVia(ingress) // hop sequence + arrival interface
+// storeKey identifies a stored path: the hop sequence plus the arrival
+// interface. The hops string is the PCB's cached HopsKey, so building a
+// key allocates nothing (unlike the HopsKeyVia concatenation).
+type storeKey struct {
+	hops    string
+	ingress addr.IfID
+}
+
+func entryKey(p *seg.PCB, ingress addr.IfID) storeKey {
+	return storeKey{hops: p.HopsKey(), ingress: ingress}
 }
 
 // Insert stores a received beacon. It returns false when the beacon was
@@ -52,47 +84,162 @@ func (s *Store) Insert(now sim.Time, p *seg.PCB, ingress addr.IfID) bool {
 		return false
 	}
 	origin := p.Origin()
-	m := s.byOrigin[origin]
-	if m == nil {
-		m = map[string]*Entry{}
-		s.byOrigin[origin] = m
+	os := s.byOrigin[origin]
+	if os == nil {
+		os = &originSet{m: map[storeKey]*Entry{}, minExpiry: maxTime}
+		s.byOrigin[origin] = os
 	}
+	wasEmpty := len(os.m) == 0
 	key := entryKey(p, ingress)
-	if old, ok := m[key]; ok {
+	if old, ok := os.m[key]; ok {
 		// Same path: keep the instance with the later expiry.
 		if p.Info.Expiry > old.PCB.Info.Expiry {
-			m[key] = &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+			if old == os.worst {
+				os.worst = nil // rank changed; recompute on demand
+			}
+			e := &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+			os.m[key] = e
+			os.replaceSorted(old, e)
+			os.noteInsert(e, key)
 		}
 		return true
 	}
-	if s.Limit > 0 && len(m) >= s.Limit {
-		// Evict expired entries first.
-		for k, e := range m {
-			if e.PCB.Expired(now) {
-				delete(m, k)
-			}
-		}
+	if s.Limit > 0 && len(os.m) >= s.Limit && now >= os.minExpiry {
+		// Evict expired entries; only reachable once something can
+		// actually have expired, so the steady state never scans here.
+		os.sweep(now)
 	}
-	if s.Limit > 0 && len(m) >= s.Limit {
+	if s.Limit > 0 && len(os.m) >= s.Limit {
 		// Replace the worst stored entry if the new beacon beats it.
-		worstKey := ""
-		var worst *Entry
-		for k, e := range m {
-			if worst == nil || worse(e, worst) {
-				worstKey, worst = k, e
-			}
+		if os.worst == nil {
+			os.findWorst()
 		}
-		if worst == nil || !betterPCB(p, worst.PCB) {
+		if os.worst == nil || !betterPCB(p, os.worst.PCB) {
 			return false
 		}
-		delete(m, worstKey)
+		delete(os.m, os.worstKey)
+		os.removeSorted(os.worst)
+		os.worst = nil
 	}
-	m[key] = &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+	e := &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+	os.m[key] = e
+	os.insertSorted(e)
+	os.noteInsert(e, key)
+	if wasEmpty {
+		s.origins = nil // a new origin became visible
+	}
 	return true
 }
 
+// entryLess is the Entries presentation order: shortest paths first,
+// then hop key, then ingress — a strict total order over stored entries
+// (hops+ingress is the map key).
+func entryLess(a, b *Entry) bool {
+	if a.PCB.NumHops() != b.PCB.NumHops() {
+		return a.PCB.NumHops() < b.PCB.NumHops()
+	}
+	ka, kb := a.PCB.HopsKey(), b.PCB.HopsKey()
+	if ka != kb {
+		return ka < kb
+	}
+	return a.Ingress < b.Ingress
+}
+
+// sortedIndex returns the position of (an entry ordering equal to) e in
+// the sorted slice.
+func (os *originSet) sortedIndex(e *Entry) int {
+	return sort.Search(len(os.sorted), func(i int) bool { return !entryLess(os.sorted[i], e) })
+}
+
+// insertSorted places a newly stored entry into the maintained order; a
+// nil slice stays nil (rebuilt lazily by Entries).
+func (os *originSet) insertSorted(e *Entry) {
+	if os.sorted == nil {
+		return
+	}
+	i := os.sortedIndex(e)
+	os.sorted = append(os.sorted, nil)
+	copy(os.sorted[i+1:], os.sorted[i:])
+	os.sorted[i] = e
+}
+
+// replaceSorted swaps a same-key replacement in place (identical sort
+// position, since the order is keyed on hops+ingress).
+func (os *originSet) replaceSorted(old, e *Entry) {
+	if os.sorted == nil {
+		return
+	}
+	if i := os.sortedIndex(old); i < len(os.sorted) && os.sorted[i] == old {
+		os.sorted[i] = e
+		return
+	}
+	os.sorted = nil // inconsistent; rebuild lazily
+}
+
+// removeSorted drops an evicted entry from the maintained order.
+func (os *originSet) removeSorted(e *Entry) {
+	if os.sorted == nil {
+		return
+	}
+	if i := os.sortedIndex(e); i < len(os.sorted) && os.sorted[i] == e {
+		os.sorted = append(os.sorted[:i], os.sorted[i+1:]...)
+		return
+	}
+	os.sorted = nil // inconsistent; rebuild lazily
+}
+
+// rebuildSorted recomputes the maintained order from scratch.
+func (os *originSet) rebuildSorted() {
+	os.sorted = make([]*Entry, 0, len(os.m))
+	for _, e := range os.m {
+		os.sorted = append(os.sorted, e)
+	}
+	sort.Slice(os.sorted, func(i, j int) bool { return entryLess(os.sorted[i], os.sorted[j]) })
+}
+
+// noteInsert maintains the cached bounds for a newly stored entry.
+func (os *originSet) noteInsert(e *Entry, key storeKey) {
+	if e.PCB.Info.Expiry < os.minExpiry {
+		os.minExpiry = e.PCB.Info.Expiry
+	}
+	if os.worst != nil && worse(e, os.worst) {
+		os.worst, os.worstKey = e, key
+	}
+}
+
+// sweep deletes expired entries and recomputes the exact bounds.
+func (os *originSet) sweep(now sim.Time) {
+	os.minExpiry = maxTime
+	os.worst = nil
+	os.sorted = nil // rebuilt lazily by Entries
+	for k, e := range os.m {
+		if e.PCB.Expired(now) {
+			delete(os.m, k)
+			continue
+		}
+		if e.PCB.Info.Expiry < os.minExpiry {
+			os.minExpiry = e.PCB.Info.Expiry
+		}
+		if os.worst == nil || worse(e, os.worst) {
+			os.worst, os.worstKey = e, k
+		}
+	}
+}
+
+// findWorst recomputes the cached eviction candidate.
+func (os *originSet) findWorst() {
+	os.worst = nil
+	for k, e := range os.m {
+		if os.worst == nil || worse(e, os.worst) {
+			os.worst, os.worstKey = e, k
+		}
+	}
+}
+
 // worse orders entries for eviction: longer paths first, then earlier
-// expiry, then key order via pointer-stable comparison on hops.
+// expiry, then hop key, then ingress. The order is strict and total over
+// stored entries (hops+ingress is the map key), so the eviction choice
+// never depends on map iteration order.
 func worse(a, b *Entry) bool {
 	if a.PCB.NumHops() != b.PCB.NumHops() {
 		return a.PCB.NumHops() > b.PCB.NumHops()
@@ -100,7 +247,10 @@ func worse(a, b *Entry) bool {
 	if a.PCB.Info.Expiry != b.PCB.Info.Expiry {
 		return a.PCB.Info.Expiry < b.PCB.Info.Expiry
 	}
-	return a.PCB.HopsKey() > b.PCB.HopsKey()
+	if a.PCB.HopsKey() != b.PCB.HopsKey() {
+		return a.PCB.HopsKey() > b.PCB.HopsKey()
+	}
+	return a.Ingress > b.Ingress
 }
 
 func betterPCB(p *seg.PCB, worst *seg.PCB) bool {
@@ -110,42 +260,44 @@ func betterPCB(p *seg.PCB, worst *seg.PCB) bool {
 	return p.Info.Expiry > worst.Info.Expiry
 }
 
-// Origins lists origin ASes with stored beacons, sorted.
+// Origins lists origin ASes with stored beacons, sorted. The returned
+// slice is shared (valid until the next store mutation); callers must not
+// modify it.
 func (s *Store) Origins() []addr.IA {
-	out := make([]addr.IA, 0, len(s.byOrigin))
-	for ia, m := range s.byOrigin {
-		if len(m) > 0 {
-			out = append(out, ia)
+	if s.origins == nil {
+		out := make([]addr.IA, 0, len(s.byOrigin))
+		for ia, os := range s.byOrigin {
+			if len(os.m) > 0 {
+				out = append(out, ia)
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		s.origins = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return s.origins
 }
 
 // Entries returns the valid stored entries of one origin in deterministic
-// order (shortest first, then hop key).
+// order (shortest first, then hop key, then ingress). Expired entries are
+// swept out on the way — callers only ever saw live entries, so dropping
+// the dead ones eagerly changes nothing observable. The returned slice is
+// shared (valid until the next store mutation); callers must not modify it.
 func (s *Store) Entries(now sim.Time, origin addr.IA) []*Entry {
-	m := s.byOrigin[origin]
-	if len(m) == 0 {
+	os := s.byOrigin[origin]
+	if os == nil || len(os.m) == 0 {
 		return nil
 	}
-	out := make([]*Entry, 0, len(m))
-	for _, e := range m {
-		if !e.PCB.Expired(now) {
-			out = append(out, e)
+	if now >= os.minExpiry {
+		os.sweep(now)
+		if len(os.m) == 0 {
+			s.origins = nil // the origin ran dry
+			return nil
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].PCB.NumHops() != out[j].PCB.NumHops() {
-			return out[i].PCB.NumHops() < out[j].PCB.NumHops()
-		}
-		ki, kj := out[i].PCB.HopsKey(), out[j].PCB.HopsKey()
-		if ki != kj {
-			return ki < kj
-		}
-		return out[i].Ingress < out[j].Ingress
-	})
-	return out
+	if os.sorted == nil {
+		os.rebuildSorted()
+	}
+	return os.sorted
 }
 
 // PCBs returns just the PCBs of Entries.
@@ -160,16 +312,13 @@ func (s *Store) PCBs(now sim.Time, origin addr.IA) []*seg.PCB {
 
 // Prune removes expired beacons everywhere.
 func (s *Store) Prune(now sim.Time) {
-	for origin, m := range s.byOrigin {
-		for k, e := range m {
-			if e.PCB.Expired(now) {
-				delete(m, k)
-			}
-		}
-		if len(m) == 0 {
+	for origin, os := range s.byOrigin {
+		os.sweep(now)
+		if len(os.m) == 0 {
 			delete(s.byOrigin, origin)
 		}
 	}
+	s.origins = nil
 }
 
 // RevokeLink drops every stored beacon whose path contains the given
@@ -179,19 +328,26 @@ func (s *Store) Prune(now sim.Time) {
 // further.
 func (s *Store) RevokeLink(link seg.LinkKey) int {
 	dropped := 0
-	for origin, m := range s.byOrigin {
-		for k, e := range m {
+	for origin, os := range s.byOrigin {
+		for k, e := range os.m {
 			for _, lk := range e.PCB.Links() {
 				if lk == link {
-					delete(m, k)
+					delete(os.m, k)
+					os.removeSorted(e)
+					if e == os.worst {
+						os.worst = nil
+					}
 					dropped++
 					break
 				}
 			}
 		}
-		if len(m) == 0 {
+		if len(os.m) == 0 {
 			delete(s.byOrigin, origin)
 		}
+	}
+	if dropped > 0 {
+		s.origins = nil
 	}
 	return dropped
 }
@@ -199,8 +355,8 @@ func (s *Store) RevokeLink(link seg.LinkKey) int {
 // Len returns the total number of stored beacons.
 func (s *Store) Len() int {
 	n := 0
-	for _, m := range s.byOrigin {
-		n += len(m)
+	for _, os := range s.byOrigin {
+		n += len(os.m)
 	}
 	return n
 }

@@ -216,8 +216,8 @@ func TestDiversityScoreOrdering(t *testing.T) {
 	lk := func(as uint64, ifID uint16) seg.LinkKey {
 		return seg.LinkKey{IA: addr.MustIA(1, addr.AS(as)), If: addr.IfID(ifID)}
 	}
-	tbl[lk(1, 1)] = 1
-	tbl[lk(2, 1)] = 1
+	tbl[d.intern(lk(1, 1))] = 1
+	tbl[d.intern(lk(2, 1))] = 1
 
 	allNew := d.diversityScore([]seg.LinkKey{lk(9, 1), lk(9, 2)}, tbl)
 	half := d.diversityScore([]seg.LinkKey{lk(1, 1), lk(9, 2)}, tbl)
@@ -231,7 +231,7 @@ func TestDiversityScoreOrdering(t *testing.T) {
 		t.Errorf("fully covered path ds = %v, want 0", allOld)
 	}
 	// Saturated counters drive the score to zero.
-	tbl[lk(3, 1)] = 100
+	tbl[d.intern(lk(3, 1))] = 100
 	if ds := d.diversityScore([]seg.LinkKey{lk(3, 1)}, tbl); ds != 0 {
 		t.Errorf("saturated jointness must give ds=0, got %v", ds)
 	}
@@ -247,7 +247,7 @@ func TestDiversityRawGeoMeanAblation(t *testing.T) {
 	d := NewDiversity(p)(addr.MustIA(1, 1)).(*Diversity)
 	tbl := d.table(origin, neighbor)
 	lk := func(as uint64) seg.LinkKey { return seg.LinkKey{IA: addr.MustIA(1, addr.AS(as)), If: 1} }
-	tbl[lk(1)] = 50
+	tbl[d.intern(lk(1))] = 50
 	// The paper-literal variant scores any path with one new link as
 	// maximally diverse even if other links are heavily reused.
 	ds := d.diversityScore([]seg.LinkKey{lk(1), lk(9)}, tbl)

@@ -80,14 +80,14 @@ func TestASDisjointAblation(t *testing.T) {
 	// Two parallel links of the same AS collapse to one counter.
 	a := seg.LinkKey{IA: addr.MustIA(1, 7), If: 1}
 	b := seg.LinkKey{IA: addr.MustIA(1, 7), If: 2}
-	tbl[d.tableKey(a)]++
+	tbl[d.intern(a)]++
 	// Under AS-disjointness the parallel link b counts as covered...
 	dsAS := d.diversityScore([]seg.LinkKey{b}, tbl)
 	// ...whereas link-disjointness treats it as new.
 	p2 := DefaultParams(5)
 	d2 := NewDiversity(p2)(addr.MustIA(1, 1)).(*Diversity)
 	tbl2 := d2.table(origin, neighbor)
-	tbl2[a]++
+	tbl2[d2.intern(a)]++
 	dsLink := d2.diversityScore([]seg.LinkKey{b}, tbl2)
 	if !(dsAS < dsLink) {
 		t.Errorf("AS-disjoint ds %v must be below link-disjoint ds %v for a parallel link", dsAS, dsLink)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"scionmpr/internal/addr"
@@ -32,11 +33,18 @@ type Fig5Result struct {
 // topology, all scaled to one month and expressed relative to BGP at the
 // same monitor ASes.
 func RunFig5(s Scale) (*Fig5Result, error) {
+	stageStart := time.Now()
+	stage := func(name string) {
+		now := time.Now()
+		fmt.Fprintf(os.Stderr, "[fig5] %-14s %v\n", name, now.Sub(stageStart).Round(time.Millisecond))
+		stageStart = now
+	}
 	e, err := newEnv(s)
 	if err != nil {
 		return nil, err
 	}
 	monitors := e.monitors()
+	stage("topology")
 	res := &Fig5Result{Scale: s, Monitors: monitors}
 
 	// Scale factor from one simulated beaconing window to a month.
@@ -57,10 +65,12 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	stage("core baseline")
 	divRun, err := e.runCore(core.NewDiversity(core.DefaultParams(s.DissemLimit)), s.StoreLimit)
 	if err != nil {
 		return nil, err
 	}
+	stage("core diversity")
 
 	// Intra-ISD beaconing on the large ISD built from the full topology.
 	isdTopo, err := topology.BuildISD(e.full, s.ISDCores)
@@ -71,16 +81,19 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 	intraCfg.Interval = s.Interval
 	intraCfg.Lifetime = s.Lifetime
 	intraCfg.Duration = s.Duration
+	intraCfg.Workers = s.Workers
 	intraRun, err := beacon.Run(intraCfg)
 	if err != nil {
 		return nil, err
 	}
+	stage("intra-ISD")
 
 	// BGP convergence on the full topology; BGPsec derived from it.
 	bgpRes, err := bgp.Run(bgp.DefaultConfig(e.full))
 	if err != nil {
 		return nil, err
 	}
+	stage("bgp")
 	// Calibrate prefix density to the real Internet so the BGP table —
 	// the denominator of every Figure 5 ratio — does not shrink
 	// quadratically with the scaled-down topology.

@@ -48,6 +48,11 @@ type Scale struct {
 	// Evaluation.
 	Monitors int
 	Pairs    int
+
+	// Workers is the simulator worker count for the beaconing runs:
+	// 1 sequential, 0 the default (SCIONMPR_WORKERS or GOMAXPROCS).
+	// Results are byte-identical for every setting.
+	Workers int
 }
 
 // PaperScale is the full experiment setup of §5.1. Running it takes
@@ -176,6 +181,7 @@ func (e *env) runCore(factory core.Factory, storeLimit int) (*beacon.RunResult, 
 	cfg.Interval = e.scale.Interval
 	cfg.Lifetime = e.scale.Lifetime
 	cfg.Duration = e.scale.Duration
+	cfg.Workers = e.scale.Workers
 	return beacon.Run(cfg)
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/sim"
@@ -124,43 +125,72 @@ func (p *PCB) WireLen() int {
 	return n
 }
 
-// Encode serializes the PCB. The layout is fixed-width fields in
-// big-endian order; Decode inverts it.
+// Encode serializes the PCB into an exactly WireLen-sized buffer. The
+// layout is fixed-width fields in big-endian order; Decode inverts it.
 func (p *PCB) Encode() []byte {
-	buf := make([]byte, 0, p.WireLen())
-	var tmp [8]byte
-	put16 := func(v uint16) {
-		binary.BigEndian.PutUint16(tmp[:2], v)
-		buf = append(buf, tmp[:2]...)
+	return p.appendBody(make([]byte, 0, p.WireLen()), len(p.ASEntries), nil)
+}
+
+// AppendEncode appends the PCB's wire encoding to buf and returns the
+// extended buffer, letting callers amortize encode allocations across
+// many beacons (grow buf by WireLen up front).
+func (p *PCB) AppendEncode(buf []byte) []byte {
+	return p.appendBody(buf, len(p.ASEntries), nil)
+}
+
+// appendBody is the single encoder behind Encode, signature bodies, and
+// Verify: it appends the info field, the first n AS entries with their
+// signatures, and optionally one extra unsigned entry — which is exactly
+// the byte string entry n's signature covers.
+func (p *PCB) appendBody(buf []byte, n int, extra *ASEntry) []byte {
+	buf = appendU16(buf, p.Info.SegID)
+	buf = appendU64(buf, p.Info.Origin.Uint64())
+	buf = appendU64(buf, uint64(p.Info.Timestamp))
+	buf = appendU64(buf, uint64(p.Info.Expiry))
+	count := n
+	if extra != nil {
+		count++
 	}
-	put64 := func(v uint64) {
-		binary.BigEndian.PutUint64(tmp[:8], v)
-		buf = append(buf, tmp[:8]...)
+	buf = append(buf, byte(count))
+	for i := 0; i < n; i++ {
+		buf = appendEntry(buf, &p.ASEntries[i], true)
 	}
-	put16(p.Info.SegID)
-	put64(p.Info.Origin.Uint64())
-	put64(uint64(p.Info.Timestamp))
-	put64(uint64(p.Info.Expiry))
-	buf = append(buf, byte(len(p.ASEntries)))
-	for i := range p.ASEntries {
-		e := &p.ASEntries[i]
-		put64(e.Local.Uint64())
-		put64(e.Next.Uint64())
-		put16(uint16(e.Hop.ConsIngress))
-		put16(uint16(e.Hop.ConsEgress))
-		buf = append(buf, e.Hop.ExpTime)
-		buf = append(buf, e.Hop.MAC[:]...)
-		put16(e.MTU)
-		buf = append(buf, byte(len(e.Peers)))
-		for _, pe := range e.Peers {
-			put64(pe.Peer.Uint64())
-			put16(uint16(pe.PeerIf))
-			put16(uint16(pe.LocalIf))
-			buf = append(buf, pe.HopMAC[:]...)
-		}
+	if extra != nil {
+		buf = appendEntry(buf, extra, false)
+	}
+	return buf
+}
+
+func appendEntry(buf []byte, e *ASEntry, withSig bool) []byte {
+	buf = appendU64(buf, e.Local.Uint64())
+	buf = appendU64(buf, e.Next.Uint64())
+	buf = appendU16(buf, uint16(e.Hop.ConsIngress))
+	buf = appendU16(buf, uint16(e.Hop.ConsEgress))
+	buf = append(buf, e.Hop.ExpTime)
+	buf = append(buf, e.Hop.MAC[:]...)
+	buf = appendU16(buf, e.MTU)
+	buf = append(buf, byte(len(e.Peers)))
+	for i := range e.Peers {
+		pe := &e.Peers[i]
+		buf = appendU64(buf, pe.Peer.Uint64())
+		buf = appendU16(buf, uint16(pe.PeerIf))
+		buf = appendU16(buf, uint16(pe.LocalIf))
+		buf = append(buf, pe.HopMAC[:]...)
+	}
+	if withSig {
 		buf = append(buf, e.Signature...)
 	}
 	return buf
+}
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // Decode parses a PCB encoded by Encode. Signatures are assumed to be
@@ -256,18 +286,16 @@ func (r *reader) bytes(dst []byte) {
 	}
 }
 
-// signBody returns the byte string an AS entry's signature covers: the
-// info field, all previous signed entries, and the new entry without its
-// signature — so every hop authenticates the full upstream beacon.
-func (p *PCB) signBody(e *ASEntry) []byte {
-	tmp := &PCB{Info: p.Info, ASEntries: append(append([]ASEntry{}, p.ASEntries...), ASEntry{
-		Local: e.Local, Next: e.Next, Hop: e.Hop, Peers: e.Peers, MTU: e.MTU,
-	})}
-	return tmp.Encode()
-}
+// encBuf pools scratch buffers for signature bodies, which are built,
+// hashed, and immediately discarded on the beaconing hot path.
+var encBuf = sync.Pool{New: func() interface{} { return new([]byte) }}
 
 // Extend appends a signed AS entry and returns the extended beacon (the
 // receiver is not modified). ingress is 0 when local is the origin.
+//
+// The returned beacon shares the receiver's per-entry Peers and
+// Signature slices — safe because a built PCB is immutable (see the type
+// comment); use Clone for a fully independent copy.
 func (p *PCB) Extend(signer trust.Signer, next addr.IA, ingress, egress addr.IfID, peers []PeerEntry, mtu uint16) (*PCB, error) {
 	e := ASEntry{
 		Local: signer.IA(),
@@ -283,17 +311,53 @@ func (p *PCB) Extend(signer trust.Signer, next addr.IA, ingress, egress addr.IfI
 	}
 	e.Hop.MAC = chainMAC(prev, e.Local, ingress, egress)
 
-	body := p.signBody(&e)
+	// The signature covers the info field, all previous signed entries,
+	// and the new entry without its signature — so every hop
+	// authenticates the full upstream beacon.
+	bp := encBuf.Get().(*[]byte)
+	body := p.appendBody((*bp)[:0], len(p.ASEntries), &e)
 	sig, err := signer.Sign(body)
+	*bp = body[:0]
+	encBuf.Put(bp)
 	if err != nil {
 		return nil, fmt.Errorf("seg: extending PCB at %s: %w", signer.IA(), err)
 	}
 	e.Signature = sig
-	out := p.Clone()
-	out.ASEntries = append(out.ASEntries, e)
-	out.hopsKey = ""
-	out.links = nil
+	n := len(p.ASEntries)
+	out := &PCB{Info: p.Info, ASEntries: make([]ASEntry, n+1)}
+	copy(out.ASEntries, p.ASEntries)
+	out.ASEntries[n] = e
+	// Fill the identity caches incrementally from the parent's: beacon
+	// stores key every insertion by HopsKey, and recomputing it from
+	// scratch for each extended copy dominated beaconing profiles.
+	out.hopsKey = extendHopsKey(p.HopsKey(), &e)
+	base := p.Links()
+	if e.Hop.ConsEgress != 0 {
+		links := make([]LinkKey, len(base)+1)
+		copy(links, base)
+		links[len(base)] = LinkKey{IA: e.Local, If: e.Hop.ConsEgress}
+		out.links = links
+	} else if base != nil {
+		out.links = base // immutable once cached; safe to share
+	} else {
+		out.links = []LinkKey{} // non-nil: mark the empty list as computed
+	}
 	return out, nil
+}
+
+// extendHopsKey appends one hop to a parent's canonical hop key,
+// producing exactly what HopsKey would compute from scratch.
+func extendHopsKey(parent string, e *ASEntry) string {
+	var sb strings.Builder
+	sb.Grow(len(parent) + 24)
+	sb.WriteString(parent)
+	sb.WriteByte('|')
+	sb.WriteString(e.Local.String())
+	sb.WriteByte(':')
+	sb.WriteString(strconv.FormatUint(uint64(e.Hop.ConsIngress), 10))
+	sb.WriteByte(':')
+	sb.WriteString(strconv.FormatUint(uint64(e.Hop.ConsEgress), 10))
+	return sb.String()
 }
 
 // chainMAC derives a hop MAC deterministically; the dataplane package
@@ -320,14 +384,18 @@ func chainMAC(prev [MACLen]byte, ia addr.IA, in, out addr.IfID) [MACLen]byte {
 
 // Verify checks all AS entry signatures against v.
 func (p *PCB) Verify(v trust.Verifier) error {
-	tmp := &PCB{Info: p.Info}
+	bp := encBuf.Get().(*[]byte)
+	buf := *bp
+	defer func() {
+		*bp = buf[:0]
+		encBuf.Put(bp)
+	}()
 	for i := range p.ASEntries {
-		e := p.ASEntries[i]
-		body := tmp.signBody(&e)
-		if err := v.Verify(e.Local, body, e.Signature); err != nil {
+		e := &p.ASEntries[i]
+		buf = p.appendBody(buf[:0], i, e)
+		if err := v.Verify(e.Local, buf, e.Signature); err != nil {
 			return fmt.Errorf("seg: entry %d (%s): %w", i, e.Local, err)
 		}
-		tmp.ASEntries = append(tmp.ASEntries, e)
 	}
 	return nil
 }
@@ -408,10 +476,16 @@ func (p *PCB) LinksVia(local addr.IA, egress addr.IfID) []LinkKey {
 func (p *PCB) HopsKey() string {
 	if p.hopsKey == "" {
 		var sb strings.Builder
-		fmt.Fprintf(&sb, "%s", p.Info.Origin)
+		sb.Grow(16 + len(p.ASEntries)*24)
+		sb.WriteString(p.Info.Origin.String())
 		for i := range p.ASEntries {
 			e := &p.ASEntries[i]
-			fmt.Fprintf(&sb, "|%s:%d:%d", e.Local, e.Hop.ConsIngress, e.Hop.ConsEgress)
+			sb.WriteByte('|')
+			sb.WriteString(e.Local.String())
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatUint(uint64(e.Hop.ConsIngress), 10))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatUint(uint64(e.Hop.ConsEgress), 10))
 		}
 		p.hopsKey = sb.String()
 	}

@@ -60,9 +60,18 @@ type Network struct {
 	// loss holds per-link drop probabilities in [0, 1], modelling gray
 	// failures: the link is up but silently sheds a fraction of messages.
 	loss map[topology.LinkID]float64
-	// lossRNG drives gray-failure drop decisions; the event loop is
-	// single-threaded, so a seeded source makes every run reproducible.
+	// lossRNG drives gray-failure drop decisions; drops are decided only
+	// from serial context (inline sends and the parallel commit phase run
+	// in sequence order), so a seeded source makes every run reproducible
+	// for any worker count.
 	lossRNG *rand.Rand
+	// sharded enables per-AS actor partitioning: each registered AS gets
+	// a simulator shard, deliveries are sharded by destination, and all
+	// shared-state mutations (counters, RNG draws, scheduling) are
+	// deferred to the deterministic commit phase when executing in
+	// parallel.
+	sharded bool
+	shards  map[addr.IA]uint32
 	// Dropped counts messages to ASes with no registered handler.
 	Dropped uint64
 	// DroppedOnFailedLinks counts messages lost to failed links.
@@ -142,8 +151,33 @@ func (n *Network) RestoreLink(id topology.LinkID) { delete(n.failed, id) }
 // LinkFailed reports whether a link is failed.
 func (n *Network) LinkFailed(id topology.LinkID) bool { return n.failed[id] }
 
+// EnableSharding turns on per-AS actor partitioning for this network:
+// every subsequently registered AS is assigned its own simulator shard,
+// so same-timestamp deliveries to distinct ASes may execute on parallel
+// workers (see the package comment for the determinism contract).
+// Call it before Register. Networks that never enable sharding keep all
+// events on the serial shard and are untouched by parallel execution.
+func (n *Network) EnableSharding() {
+	n.sharded = true
+	if n.shards == nil {
+		n.shards = map[addr.IA]uint32{}
+	}
+}
+
+// Shard returns the simulator shard owned by ia (SerialShard when
+// sharding is off or ia is unregistered). Use it with EveryShard to run
+// an AS's periodic work on its own actor.
+func (n *Network) Shard(ia addr.IA) uint32 { return n.shards[ia] }
+
 // Register installs the message handler for ia, replacing any previous one.
-func (n *Network) Register(ia addr.IA, h Handler) { n.handlers[ia] = h }
+func (n *Network) Register(ia addr.IA, h Handler) {
+	n.handlers[ia] = h
+	if n.sharded {
+		if _, ok := n.shards[ia]; !ok {
+			n.shards[ia] = n.Sim.NewShard()
+		}
+	}
+}
 
 // counter returns (allocating) the counter for a given interface.
 func (n *Network) counter(k IfKey) *Counter {
@@ -159,10 +193,24 @@ func (n *Network) counter(k IfKey) *Counter {
 // neighboring AS. TX is counted on from's interface immediately; RX on the
 // remote interface at delivery time. It panics if from is not an endpoint
 // of link, which would indicate a mis-wired control plane.
+//
+// When called from a handler executing on a parallel worker, the
+// transmission (failure/loss checks, RNG draw, counters, delivery
+// scheduling) is deferred as an effect of the sending actor and replayed
+// at commit in sequence order, so all observables match a sequential run.
 func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
 	if link.A != from && link.B != from {
 		panic(fmt.Sprintf("sim: %s sending on foreign link %s", from, link))
 	}
+	if n.sharded && n.Sim.inPar {
+		n.Sim.deferOp(n.shards[from], func() { n.send(from, link, msg) })
+		return
+	}
+	n.send(from, link, msg)
+}
+
+// send performs the transmission; it must run in serial context.
+func (n *Network) send(from addr.IA, link *topology.Link, msg Message) {
 	if n.failed[link.ID] {
 		n.DroppedOnFailedLinks++
 		return
@@ -177,17 +225,37 @@ func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
 	tx.TxMsgs++
 	to := link.Other(from)
 	remoteIf := link.RemoteIf(from)
-	n.Sim.Schedule(n.LinkDelay(link.ID), func() {
-		rx := n.counter(IfKey{IA: to, If: remoteIf})
-		rx.RxBytes += uint64(size)
-		rx.RxMsgs++
-		h := n.handlers[to]
-		if h == nil {
-			n.Dropped++
-			return
-		}
-		h.HandleMessage(from, link, msg)
+	n.Sim.ScheduleShard(n.shards[to], n.LinkDelay(link.ID), func() {
+		n.deliver(from, to, remoteIf, link, msg, size)
 	})
+}
+
+// deliver runs at the destination — on a parallel worker when the
+// network is sharded. The handler dispatch itself is the parallel work;
+// mutations of network-shared state (RX counters, drop counts) are
+// deferred to the commit phase.
+func (n *Network) deliver(from, to addr.IA, remoteIf addr.IfID, link *topology.Link, msg Message, size int) {
+	inPar := n.Sim.inPar
+	rx := func() {
+		c := n.counter(IfKey{IA: to, If: remoteIf})
+		c.RxBytes += uint64(size)
+		c.RxMsgs++
+	}
+	if inPar {
+		n.Sim.deferOp(n.shards[to], rx)
+	} else {
+		rx()
+	}
+	h := n.handlers[to]
+	if h == nil {
+		if inPar {
+			n.Sim.deferOp(n.shards[to], func() { n.Dropped++ })
+		} else {
+			n.Dropped++
+		}
+		return
+	}
+	h.HandleMessage(from, link, msg)
 }
 
 // InterfaceCounter returns a copy of the counter for one interface

@@ -5,11 +5,46 @@
 // exact observables the paper's overhead evaluation needs (§5.1, §5.2:
 // "we observe the amount of PCB traffic sent on each inter-domain
 // interface").
+//
+// # Parallel deterministic execution
+//
+// The simulator can execute events sharing a virtual timestamp in
+// parallel while producing output byte-identical to a sequential run.
+// Events carry an optional shard: a small integer identifying the actor
+// (in practice one AS's control-plane process) whose private state the
+// event touches. Same-timestamp events are batched, partitioned by
+// shard, and run on a worker pool; shard 0 events are serial barriers
+// that split a batch into independently parallelizable segments.
+//
+// Determinism rests on two rules enforced by this package:
+//
+//  1. A sharded event may mutate only its own shard's state directly.
+//     Cross-shard side effects — scheduling new events, transmitting
+//     messages — are deferred into a per-event effect list and replayed
+//     after the segment in (time, seq) order, exactly the order a
+//     sequential run would have produced them in. Sequence numbers,
+//     traffic counters, and seeded RNG draws therefore come out
+//     identical for any worker count.
+//  2. Serial (shard 0) events act as barriers: all effects of earlier
+//     sharded events are committed before a serial event runs, and no
+//     sharded event of the same timestamp with a later sequence number
+//     has started.
+//
+// Calling Schedule/At without a shard from inside parallel execution is
+// a contract violation and panics; use the *Shard variants (or
+// Network.Send, which routes itself) from sharded actors.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,10 +54,15 @@ type Time time.Duration
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// SerialShard is the shard of events that must run alone: they may touch
+// any state, and they barrier parallel execution within their timestamp.
+const SerialShard uint32 = 0
+
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among same-time events
+	shard uint32 // SerialShard, or an actor shard from NewShard
+	fn    func()
 }
 
 type eventHeap []event
@@ -44,67 +84,190 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// shardGroup is the per-shard slice of a parallel segment: indices into
+// the segment's event slice, in sequence order.
+type shardGroup struct {
+	shard uint32
+	evs   []int32
+}
+
 // Simulator owns the virtual clock and the pending event set. The zero
-// value is ready to use.
+// value is ready to use (sequentially; see SetWorkers).
 type Simulator struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
-	stopped bool
+	stopped atomic.Bool
 	// Executed counts processed events, useful for run-away detection in
 	// tests and experiment logs.
 	Executed uint64
+
+	// workers is the parallel worker count; <= 1 executes sequentially.
+	workers   int
+	nextShard uint32
+
+	// inPar is true while a parallel segment's workers are running. It is
+	// written only with no workers alive (happens-before via goroutine
+	// start and WaitGroup.Wait), so worker reads are race-free.
+	inPar bool
+	// ops holds the deferred cross-shard effects of the segment currently
+	// executing, one list per event (indexed like the segment slice).
+	ops [][]func()
+	// frames maps shard -> index of that shard's currently executing
+	// event in the segment (-1 outside segments). Each entry is written
+	// only by the worker owning the shard.
+	frames []int32
+
+	// Scratch buffers reused across batches to keep the hot loop
+	// allocation-free.
+	batch   []event
+	groups  []shardGroup
+	groupOf map[uint32]int32
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
+// SetWorkers sets the parallel worker count: 1 forces sequential
+// execution, n > 1 runs same-timestamp sharded events on up to n
+// goroutines, and n <= 0 resolves the default (the SCIONMPR_WORKERS
+// environment variable if set, else GOMAXPROCS). Call it before Run; the
+// produced event order and all observables are identical for every
+// setting.
+func (s *Simulator) SetWorkers(n int) {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	s.workers = n
+}
+
+// WorkerCount reports the effective worker count (1 = sequential).
+func (s *Simulator) WorkerCount() int {
+	if s.workers <= 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// DefaultWorkers resolves the default parallelism: the SCIONMPR_WORKERS
+// environment variable when set to a positive integer, else GOMAXPROCS.
+func DefaultWorkers() int {
+	if v := os.Getenv("SCIONMPR_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewShard allocates a fresh actor shard identifier. Shards are cheap
+// integers; allocate one per independent actor (per AS) during setup,
+// before the simulation runs. Not safe for concurrent use.
+func (s *Simulator) NewShard() uint32 {
+	s.nextShard++
+	return s.nextShard
+}
+
 // Schedule queues fn to run after delay d. Negative delays run "now"
 // (still in timestamp order with other now-events).
 func (s *Simulator) Schedule(d time.Duration, fn func()) {
+	s.ScheduleShard(SerialShard, d, fn)
+}
+
+// ScheduleShard is Schedule for an event owned by the given actor shard.
+func (s *Simulator) ScheduleShard(shard uint32, d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	s.At(s.now+Time(d), fn)
+	s.AtShard(shard, s.now+Time(d), fn)
 }
 
 // At queues fn at absolute virtual time t. Scheduling in the past is an
 // error that would break causality; it panics to surface the bug.
-func (s *Simulator) At(t Time, fn func()) {
+func (s *Simulator) At(t Time, fn func()) { s.AtShard(SerialShard, t, fn) }
+
+// AtShard is At for an event owned by the given actor shard. Within one
+// shard, events retain FIFO order among equal timestamps; events of
+// different shards at the same timestamp may execute in parallel.
+func (s *Simulator) AtShard(shard uint32, t Time, fn func()) {
+	if s.inPar {
+		// Called from inside a parallel segment: defer the push so the
+		// sequence number is assigned in deterministic commit order.
+		s.deferOp(shard, func() { s.push(shard, t, fn) })
+		return
+	}
+	s.push(shard, t, fn)
+}
+
+func (s *Simulator) push(shard uint32, t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	heap.Push(&s.events, event{at: t, seq: s.seq, shard: shard, fn: fn})
+}
+
+// deferOp appends op to the effect list of the event currently executing
+// on the caller's shard. It panics when the shard has no executing event
+// in this segment — i.e. when code running as one actor tries to produce
+// side effects attributed to another, which would be a nondeterministic
+// cross-shard mutation.
+func (s *Simulator) deferOp(shard uint32, op func()) {
+	idx := int32(-1)
+	if int(shard) < len(s.frames) {
+		idx = s.frames[shard]
+	}
+	if idx < 0 {
+		panic("sim: cross-shard side effect from parallel execution: " +
+			"schedule and send only as the executing actor (shard-aware APIs), or from serial events")
+	}
+	s.ops[idx] = append(s.ops[idx], op)
 }
 
 // Every schedules fn at start and then every interval until the simulator
 // stops or the end time passes (end <= 0 means no end). fn also receives
 // the firing time.
 func (s *Simulator) Every(start, interval time.Duration, end Time, fn func(Time)) {
+	s.EveryShard(SerialShard, start, interval, end, fn)
+}
+
+// EveryShard is Every for a repeating event owned by an actor shard (the
+// per-AS beaconing tick). The self-rescheduling honors the parallel
+// effect-ordering contract automatically.
+func (s *Simulator) EveryShard(shard uint32, start, interval time.Duration, end Time, fn func(Time)) {
 	var tick func()
-	next := s.now + Time(start)
 	tick = func() {
-		if s.stopped || (end > 0 && s.now > end) {
+		if s.stopped.Load() || (end > 0 && s.now > end) {
 			return
 		}
 		fn(s.now)
-		next = s.now + Time(interval)
+		// fn may have stopped the run mid-tick; without this re-check a
+		// stopped simulator is left with one extra self-rescheduled
+		// event pending.
+		if s.stopped.Load() {
+			return
+		}
+		next := s.now + Time(interval)
 		if end > 0 && next > end {
 			return
 		}
-		s.At(next, tick)
+		s.AtShard(shard, next, tick)
 	}
+	next := s.now + Time(start)
 	if end > 0 && next > end {
 		return
 	}
-	s.At(next, tick)
+	s.AtShard(shard, next, tick)
 }
 
 // Run executes events until the queue drains or Stop is called. It
 // returns the final virtual time.
 func (s *Simulator) Run() Time {
-	for len(s.events) > 0 && !s.stopped {
+	if s.WorkerCount() > 1 {
+		s.runBatches(Time(math.MaxInt64))
+		return s.now
+	}
+	for len(s.events) > 0 && !s.stopped.Load() {
 		e := heap.Pop(&s.events).(event)
 		s.now = e.at
 		s.Executed++
@@ -116,14 +279,18 @@ func (s *Simulator) Run() Time {
 // RunUntil executes events with timestamps <= deadline and then advances
 // the clock to the deadline. Remaining events stay queued.
 func (s *Simulator) RunUntil(deadline Time) Time {
-	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at > deadline {
-			break
+	if s.WorkerCount() > 1 {
+		s.runBatches(deadline)
+	} else {
+		for len(s.events) > 0 && !s.stopped.Load() {
+			if s.events[0].at > deadline {
+				break
+			}
+			e := heap.Pop(&s.events).(event)
+			s.now = e.at
+			s.Executed++
+			e.fn()
 		}
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		s.Executed++
-		e.fn()
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -131,8 +298,177 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 	return s.now
 }
 
-// Stop halts Run/RunUntil after the current event.
-func (s *Simulator) Stop() { s.stopped = true }
+// runBatches drives the parallel execution loop: repeatedly extract all
+// events sharing the earliest timestamp (<= deadline) and run them as a
+// batch. Commits may schedule new events at the same timestamp (e.g.
+// zero-latency links); the outer loop picks them up as a fresh batch,
+// preserving global (time, seq) order because sequence numbers only grow.
+func (s *Simulator) runBatches(deadline Time) {
+	for len(s.events) > 0 && !s.stopped.Load() {
+		t := s.events[0].at
+		if t > deadline {
+			return
+		}
+		s.now = t
+		batch := s.batch[:0]
+		for len(s.events) > 0 && s.events[0].at == t {
+			batch = append(batch, heap.Pop(&s.events).(event))
+		}
+		s.runSegments(batch)
+		clear(batch) // release fn references
+		s.batch = batch[:0]
+	}
+}
+
+// runSegments executes one same-timestamp batch: maximal runs of sharded
+// events execute in parallel, serial events barrier between them. If the
+// simulator is stopped partway (only a serial event or a committed
+// effect can observe this deterministically), unexecuted events return
+// to the heap, matching sequential Stop semantics at segment
+// granularity.
+func (s *Simulator) runSegments(batch []event) {
+	i := 0
+	for i < len(batch) {
+		if s.stopped.Load() {
+			for _, e := range batch[i:] {
+				heap.Push(&s.events, e)
+			}
+			return
+		}
+		if batch[i].shard == SerialShard {
+			s.Executed++
+			batch[i].fn()
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(batch) && batch[j].shard != SerialShard {
+			j++
+		}
+		s.runParallel(batch[i:j])
+		i = j
+	}
+}
+
+// runParallel executes one segment of sharded events and commits their
+// deferred effects in sequence order.
+func (s *Simulator) runParallel(evs []event) {
+	// Group events by shard, preserving sequence order within each group.
+	if s.groupOf == nil {
+		s.groupOf = map[uint32]int32{}
+	}
+	groups := s.groups[:0]
+	for idx := range evs {
+		sh := evs[idx].shard
+		gi, ok := s.groupOf[sh]
+		if !ok {
+			gi = int32(len(groups))
+			if cap(groups) > len(groups) {
+				groups = groups[:len(groups)+1]
+				groups[gi].shard = sh
+				groups[gi].evs = groups[gi].evs[:0]
+			} else {
+				groups = append(groups, shardGroup{shard: sh})
+			}
+			s.groupOf[sh] = gi
+		}
+		groups[gi].evs = append(groups[gi].evs, int32(idx))
+	}
+	s.groups = groups
+
+	workers := s.WorkerCount()
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		// One partition (or sequential): direct execution in seq order is
+		// equivalent — effects apply inline in exactly the same order.
+		for gi := range groups {
+			delete(s.groupOf, groups[gi].shard)
+		}
+		for k := range evs {
+			s.Executed++
+			evs[k].fn()
+		}
+		return
+	}
+
+	// Per-event effect lists and shard execution frames.
+	if cap(s.ops) < len(evs) {
+		s.ops = make([][]func(), len(evs))
+	}
+	s.ops = s.ops[:len(evs)]
+	if len(s.frames) < int(s.nextShard)+1 {
+		old := s.frames
+		s.frames = make([]int32, s.nextShard+1)
+		for k := range s.frames {
+			s.frames[k] = -1
+		}
+		copy(s.frames, old)
+	}
+
+	s.inPar = true
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal interface{}
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = fmt.Sprintf("sim: worker panic: %v\n%s", r, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				gi := next.Add(1)
+				if gi >= int64(len(groups)) {
+					return
+				}
+				g := &groups[gi]
+				for _, idx := range g.evs {
+					s.frames[g.shard] = idx
+					evs[idx].fn()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.inPar = false
+	if panicVal != nil {
+		panic(panicVal)
+	}
+
+	// Commit deferred effects in sequence order: this replays schedules
+	// (assigning sequence numbers), traffic accounting, and RNG draws in
+	// exactly the order a sequential run would have produced.
+	for idx := range evs {
+		s.Executed++
+		for _, op := range s.ops[idx] {
+			op()
+		}
+		clear(s.ops[idx])
+		s.ops[idx] = s.ops[idx][:0]
+	}
+
+	// Reset shard frames and group scratch for the next segment.
+	for gi := range groups {
+		s.frames[groups[gi].shard] = -1
+		delete(s.groupOf, groups[gi].shard)
+	}
+}
+
+// Stop halts Run/RunUntil after the current event (sequential mode) or
+// the current segment (parallel mode). Safe to call from sharded events.
+func (s *Simulator) Stop() { s.stopped.Store(true) }
 
 // Pending returns the number of queued events.
 func (s *Simulator) Pending() int { return len(s.events) }

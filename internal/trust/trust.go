@@ -18,9 +18,9 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"crypto/sha512"
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 
 	"scionmpr/internal/addr"
 )
@@ -87,9 +87,14 @@ func (s *ECDSASigner) Sign(msg []byte) ([]byte, error) {
 // exact ECDSA P-384 wire size. Verification recomputes the MAC with the
 // per-AS secret held by the verifying Infra — sound inside a simulation
 // where the Infra is the trusted key registry.
+//
+// A signer caches its keyed HMAC state across Sign calls. It is owned by
+// exactly one AS's control-plane actor and therefore needs no locking,
+// even when the simulator runs actors in parallel.
 type SizedSigner struct {
 	ia     addr.IA
 	secret []byte
+	mac    hash.Hash
 }
 
 // IA implements Signer.
@@ -97,18 +102,33 @@ func (s *SizedSigner) IA() addr.IA { return s.ia }
 
 // Sign implements Signer.
 func (s *SizedSigner) Sign(msg []byte) ([]byte, error) {
-	return sizedMAC(s.secret, msg), nil
+	if s.mac == nil {
+		s.mac = hmac.New(sha256.New, s.secret)
+	}
+	return appendSizedMAC(s.mac, msg), nil
 }
 
+// sizedMAC is the stateless form used by verification, which may run
+// concurrently against a shared Infra.
 func sizedMAC(secret, msg []byte) []byte {
+	return appendSizedMAC(hmac.New(sha256.New, secret), msg)
+}
+
+// appendSizedMAC expands the keyed MAC to SignatureLen bytes: one keyed
+// pass over the message yields a pseudorandom key, expanded HKDF-style
+// with short fixed-size hashes. Signing therefore traverses msg exactly
+// once however many output blocks SignatureLen requires — beacon bodies
+// grow with the hop count, and this sits on the Extend hot path.
+func appendSizedMAC(m hash.Hash, msg []byte) []byte {
+	m.Reset()
+	m.Write(msg)
+	var block [sha256.Size + 1]byte
+	m.Sum(block[:0])
 	out := make([]byte, 0, SignatureLen)
-	var ctr [4]byte
 	for i := 0; len(out) < SignatureLen; i++ {
-		binary.BigEndian.PutUint32(ctr[:], uint32(i))
-		m := hmac.New(sha256.New, secret)
-		m.Write(ctr[:])
-		m.Write(msg)
-		out = m.Sum(out)
+		block[sha256.Size] = byte(i)
+		sum := sha256.Sum256(block[:])
+		out = append(out, sum[:]...)
 	}
 	return out[:SignatureLen]
 }
