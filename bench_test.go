@@ -21,6 +21,7 @@ import (
 	"scionmpr/internal/graphalg"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 	"scionmpr/internal/traffic"
 	"scionmpr/internal/trust"
@@ -123,27 +124,35 @@ func BenchmarkFig5IntraISD(b *testing.B) {
 // the 120-AS intra-ISD beaconing run (every AS is an actor). The results
 // are byte-identical across worker counts — the determinism tests in
 // internal/beacon assert that — so only the wall clock should move.
+// The telemetry=on variants attach a metric registry (per-shard counter
+// cells on the hot path); the contract is ~0% overhead when disabled
+// (nil-receiver no-ops) and <=3% when enabled.
 func BenchmarkBeaconWorkers(b *testing.B) {
 	full, _ := topos(b)
 	isd, err := topology.BuildISD(full, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			var bytes uint64
-			for i := 0; i < b.N; i++ {
-				cfg := beacon.DefaultRunConfig(isd, beacon.IntraMode, core.NewDiversity(core.DefaultParams(5)), 15)
-				cfg.Duration = time.Hour
-				cfg.Workers = w
-				res, err := beacon.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
+	for _, telem := range []bool{false, true} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("telemetry=%v/workers=%d", telem, w), func(b *testing.B) {
+				var bytes uint64
+				for i := 0; i < b.N; i++ {
+					cfg := beacon.DefaultRunConfig(isd, beacon.IntraMode, core.NewDiversity(core.DefaultParams(5)), 15)
+					cfg.Duration = time.Hour
+					cfg.Workers = w
+					if telem {
+						cfg.Telemetry = telemetry.NewRegistry()
+					}
+					res, err := beacon.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = res.TotalOverheadBytes()
 				}
-				bytes = res.TotalOverheadBytes()
-			}
-			b.ReportMetric(float64(bytes), "overhead-bytes/run")
-		})
+				b.ReportMetric(float64(bytes), "overhead-bytes/run")
+			})
+		}
 	}
 }
 

@@ -36,21 +36,24 @@ import (
 	"scionmpr/internal/chaos"
 	"scionmpr/internal/core"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
 type config struct {
-	topoKind string
-	n, tier1 int
-	coreN    int
-	seed     int64
-	algo     string
-	store    int
-	interval time.Duration
-	lifetime time.Duration
-	duration time.Duration
-	schedule string
-	pairs    int
+	topoKind  string
+	n, tier1  int
+	coreN     int
+	seed      int64
+	algo      string
+	store     int
+	interval  time.Duration
+	lifetime  time.Duration
+	duration  time.Duration
+	schedule  string
+	pairs     int
+	telemAddr string
+	traceOut  string
 }
 
 func main() {
@@ -67,6 +70,8 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 30*time.Second, "simulated duration")
 	flag.StringVar(&cfg.schedule, "schedule", "", "fault schedule file (empty: built-in default)")
 	flag.IntVar(&cfg.pairs, "pairs", 20, "AS pairs sampled for surviving path state")
+	flag.StringVar(&cfg.telemAddr, "telemetry", "", "serve /metrics, /snapshot, /trace and /debug/pprof on this address during the run")
+	flag.StringVar(&cfg.traceOut, "trace", "", "write the structured trace event log (JSONL) to this file at exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -97,15 +102,46 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
 
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	if cfg.telemAddr != "" || cfg.traceOut != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(1 << 16)
+	}
+	if cfg.telemAddr != "" {
+		addr, err := telemetry.Serve(cfg.telemAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
+
 	runCfg := beacon.DefaultRunConfig(topo, beacon.CoreMode, factory, cfg.store)
 	runCfg.Interval = cfg.interval
 	runCfg.Lifetime = cfg.lifetime
 	runCfg.Duration = cfg.duration
 	runCfg.Chaos = sched
+	runCfg.Telemetry = reg
+	runCfg.Tracer = tracer
 
 	res, err := beacon.Run(runCfg)
 	if err != nil {
 		return err
+	}
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(w, "topology: %s\n", topo.ComputeStats())

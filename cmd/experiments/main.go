@@ -33,17 +33,20 @@ import (
 
 	"scionmpr/internal/core"
 	"scionmpr/internal/experiments"
+	"scionmpr/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
-		scaleStr = flag.String("scale", "default", "scale preset: smoke | default | paper")
-		duration = flag.Duration("duration", 0, "override beaconing duration")
-		pairs    = flag.Int("pairs", 0, "override sampled AS pairs")
-		ases     = flag.Int("ases", 0, "override topology size; the core/ISD structure scales proportionally")
-		workers  = flag.Int("workers", 0, "simulator workers: 1 sequential, 0 default (SCIONMPR_WORKERS or GOMAXPROCS); output is identical for every setting")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
+		scaleStr  = flag.String("scale", "default", "scale preset: smoke | default | paper")
+		duration  = flag.Duration("duration", 0, "override beaconing duration")
+		pairs     = flag.Int("pairs", 0, "override sampled AS pairs")
+		ases      = flag.Int("ases", 0, "override topology size; the core/ISD structure scales proportionally")
+		workers   = flag.Int("workers", 0, "simulator workers: 1 sequential, 0 default (SCIONMPR_WORKERS or GOMAXPROCS); output is identical for every setting")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		telemAddr = flag.String("telemetry", "", "serve /metrics, /snapshot, /trace and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		traceOut  = flag.String("trace", "", "write the structured trace event log (JSONL) to this file at exit")
 	)
 	flag.Parse()
 
@@ -56,6 +59,34 @@ func main() {
 			fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	if *telemAddr != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(1 << 16)
+	}
+	if *telemAddr != "" {
+		addr, err := telemetry.Serve(*telemAddr, reg, tracer)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := tracer.WriteJSONL(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	var scale experiments.Scale
@@ -89,6 +120,8 @@ func main() {
 		scale.Pairs = *pairs
 	}
 	scale.Workers = *workers
+	scale.Telemetry = reg
+	scale.Tracer = tracer
 
 	runOne := func(name string, f func() error) {
 		fmt.Printf("\n########## %s ##########\n", name)

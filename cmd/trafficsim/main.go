@@ -23,6 +23,7 @@ import (
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/graphalg"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/traffic"
 	"scionmpr/scion"
 )
@@ -37,6 +38,8 @@ type config struct {
 	sched           string
 	chunk           int64
 	duration        time.Duration
+	telemAddr       string
+	traceOut        string
 }
 
 func main() {
@@ -53,6 +56,8 @@ func main() {
 	flag.StringVar(&cfg.sched, "sched", "weighted", "scheduler: single-best | round-robin | weighted | latency")
 	flag.Int64Var(&cfg.chunk, "chunk", 64<<10, "admission chunk size (bytes)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "virtual-time cutoff (0: run all flows to completion)")
+	flag.StringVar(&cfg.telemAddr, "telemetry", "", "serve /metrics, /snapshot, /trace and /debug/pprof on this address during the run")
+	flag.StringVar(&cfg.traceOut, "trace", "", "write the structured trace event log (JSONL) to this file at exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -66,7 +71,38 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	net, err := scion.NewNetwork(topo, scion.DefaultOptions())
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	if cfg.telemAddr != "" || cfg.traceOut != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(1 << 16)
+	}
+	if cfg.telemAddr != "" {
+		addr, err := telemetry.Serve(cfg.telemAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
+	if cfg.traceOut != "" {
+		defer func() {
+			f, err := os.Create(cfg.traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trafficsim: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "trafficsim: trace:", err)
+			}
+		}()
+	}
+	opts := scion.DefaultOptions()
+	opts.Telemetry = reg
+	opts.Tracer = tracer
+	net, err := scion.NewNetwork(topo, opts)
 	if err != nil {
 		return err
 	}
@@ -82,6 +118,7 @@ func run(w io.Writer, cfg config) error {
 		Links:     traffic.NewLinkModel(traffic.DefaultCapacity()),
 		Scheduler: func() traffic.Scheduler { return factory() },
 		ChunkSize: cfg.chunk,
+		Telemetry: reg,
 	})
 	if err != nil {
 		return err

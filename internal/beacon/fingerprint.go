@@ -1,6 +1,7 @@
 package beacon
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"sort"
@@ -76,6 +77,23 @@ func (r *RunResult) Fingerprint() [sha256.Size]byte {
 			w64(uint64(k))
 			w64(r.Chaos.Injections[chaos.Kind(k)])
 		}
+	}
+
+	// Telemetry, when enabled, extends the determinism guarantee: the
+	// deterministic metric snapshot and the trace ring's JSONL encoding
+	// must also be byte-identical for every worker count.
+	if r.Cfg.Telemetry != nil {
+		var buf bytes.Buffer
+		r.Cfg.Telemetry.WriteSnapshot(&buf) //nolint:errcheck // Buffer writes cannot fail
+		w64(uint64(buf.Len()))
+		h.Write(buf.Bytes())
+	}
+	if r.Cfg.Tracer != nil {
+		var buf bytes.Buffer
+		r.Cfg.Tracer.WriteJSONL(&buf) //nolint:errcheck // Buffer writes cannot fail
+		w64(r.Cfg.Tracer.Dropped)
+		w64(uint64(buf.Len()))
+		h.Write(buf.Bytes())
 	}
 
 	var out [sha256.Size]byte

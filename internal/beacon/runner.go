@@ -10,6 +10,7 @@ import (
 	"scionmpr/internal/graphalg"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 	"scionmpr/internal/trust"
 )
@@ -49,6 +50,13 @@ type RunConfig struct {
 	// same-timestamp ticks and deliveries run on a worker pool; the
 	// result is byte-identical for every setting (see internal/sim).
 	Workers int
+	// Telemetry, if set, receives sharded counters from every subsystem
+	// of the run; its deterministic snapshot is folded into Fingerprint.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, records structured trace events (origination,
+	// propagation, filtering, chaos faults) in deterministic order; its
+	// JSONL encoding is folded into Fingerprint.
+	Tracer *telemetry.Tracer
 }
 
 // LinkFailure schedules one link failure during a run. A positive
@@ -107,7 +115,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	s := &sim.Simulator{}
 	s.SetWorkers(cfg.Workers)
+	s.SetTracer(cfg.Tracer)
+	s.SetTelemetry(cfg.Telemetry)
 	net := sim.NewNetwork(s, cfg.Topo, cfg.LinkDelay)
+	net.SetTelemetry(cfg.Telemetry)
 	// Each beacon server touches only its own AS's state in its handler
 	// and tick, so ASes are sharded into parallel actors.
 	net.EnableSharding()
@@ -132,6 +143,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		srv.SetTelemetry(cfg.Telemetry)
 		servers[ia] = srv
 	}
 	end := sim.Time(cfg.Duration)
@@ -159,6 +171,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	var eng *chaos.Engine
 	if cfg.Chaos != nil {
 		eng = chaos.NewEngine(s, net)
+		eng.SetTelemetry(cfg.Telemetry)
 		eng.AddCrashTarget(serverCrashTarget{servers})
 		eng.OnFail = func(id topology.LinkID) {
 			if l := cfg.Topo.LinkByID(id); l != nil {

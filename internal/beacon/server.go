@@ -8,6 +8,7 @@ import (
 	"scionmpr/internal/core"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 	"scionmpr/internal/trust"
 )
@@ -82,6 +83,15 @@ type Server struct {
 	// the allocator. Safe because selectors copy what they keep.
 	selCands   []*seg.PCB
 	selIngress []addr.IfID
+
+	// shard is the AS's simulator shard, cached for telemetry cells and
+	// trace attribution.
+	shard uint32
+	// Telemetry cells (nil no-ops when telemetry is disabled). Each cell
+	// belongs to this server's shard, so parallel handler execution never
+	// shares a cell.
+	cReceived, cOriginated, cPropagated, cDroppedDown *telemetry.Cell
+	cRejVerify, cRejLoop, cRejPolicy, cRejStore       *telemetry.Cell
 }
 
 // NewServer creates a beacon server and registers it as the AS's message
@@ -95,7 +105,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, store: NewStore(cfg.StoreLimit)}
 	cfg.Net.Register(cfg.Local, s)
+	s.shard = cfg.Net.Shard(cfg.Local)
 	return s, nil
+}
+
+// SetTelemetry resolves the server's per-shard metric cells in reg.
+// Call after NewServer, before the simulation runs. Metric names carry
+// the beaconing mode so core and intra-ISD runs sharing one registry
+// stay separable.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	mode := s.cfg.Mode.String()
+	c := func(name string) *telemetry.Cell {
+		return reg.Counter(fmt.Sprintf(`beacon_%s_total{mode=%q}`, name, mode)).Cell(s.shard)
+	}
+	rej := func(reason string) *telemetry.Cell {
+		return reg.Counter(fmt.Sprintf(`beacon_rejected_total{mode=%q,reason=%q}`, mode, reason)).Cell(s.shard)
+	}
+	s.cReceived = c("received")
+	s.cOriginated = c("originated")
+	s.cPropagated = c("propagated")
+	s.cDroppedDown = c("dropped_down")
+	s.cRejVerify = rej("verify")
+	s.cRejLoop = rej("loop")
+	s.cRejPolicy = rej("policy")
+	s.cRejStore = rej("store")
 }
 
 // Store exposes the beacon store (read-mostly; experiments extract
@@ -122,27 +158,51 @@ func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Messag
 	}
 	if s.down {
 		s.DroppedWhileDown++
+		s.cDroppedDown.Inc()
+		s.filtered(from, pm.PCB, "down")
 		return
 	}
 	s.Received++
+	s.cReceived.Inc()
 	now := s.cfg.Net.Sim.Now()
 	if s.cfg.Verifier != nil {
 		if err := pm.PCB.Verify(s.cfg.Verifier); err != nil {
 			s.Rejected++
+			s.cRejVerify.Inc()
+			s.filtered(from, pm.PCB, "verify")
 			return
 		}
 	}
 	if pm.PCB.ContainsAS(s.cfg.Local) {
 		s.Rejected++ // loop
+		s.cRejLoop.Inc()
+		s.filtered(from, pm.PCB, "loop")
 		return
 	}
 	if !s.cfg.Policy.AcceptsReceive(pm.PCB) {
 		s.Rejected++ // policy
+		s.cRejPolicy.Inc()
+		s.filtered(from, pm.PCB, "policy")
 		return
 	}
 	if !s.store.Insert(now, pm.PCB, link.LocalIf(s.cfg.Local)) {
 		s.Rejected++
+		s.cRejStore.Inc()
+		s.filtered(from, pm.PCB, "store")
 	}
+}
+
+// filtered emits the BeaconFiltered trace event. Called from the
+// server's own sharded handler, so parallel emissions stage on this
+// shard's event frame (see sim.Trace).
+func (s *Server) filtered(from addr.IA, p *seg.PCB, reason string) {
+	s.cfg.Net.Sim.Trace(s.shard, telemetry.Event{
+		Kind:    telemetry.BeaconFiltered,
+		Actor:   s.cfg.Local.Uint64(),
+		Subject: from.Uint64(),
+		Aux:     uint64(p.NumHops()),
+		Reason:  reason,
+	})
 }
 
 // Tick runs one beaconing interval: origination (core ASes) followed by
@@ -230,6 +290,13 @@ func (s *Server) originate(now sim.Time) {
 			}
 			s.cfg.Net.Send(local, l, PCBMsg{PCB: ext})
 			s.Originated++
+			s.cOriginated.Inc()
+			s.cfg.Net.Sim.Trace(s.shard, telemetry.Event{
+				Kind:    telemetry.BeaconOriginated,
+				Actor:   local.Uint64(),
+				Subject: uint64(l.LocalIf(local)),
+				Aux:     uint64(s.segID),
+			})
 		}
 	}
 }
@@ -285,6 +352,13 @@ func (s *Server) propagate(now sim.Time) {
 				}
 				s.cfg.Net.Send(local, link, PCBMsg{PCB: ext})
 				s.Propagated++
+				s.cPropagated.Inc()
+				s.cfg.Net.Sim.Trace(s.shard, telemetry.Event{
+					Kind:    telemetry.BeaconPropagated,
+					Actor:   local.Uint64(),
+					Subject: uint64(sel.Egress),
+					Aux:     uint64(ext.NumHops()),
+				})
 			}
 		}
 	}

@@ -19,6 +19,7 @@ import (
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -78,6 +79,30 @@ func NewEngine(s *sim.Simulator, targets ...FaultTarget) *Engine {
 		crashDepth: map[addr.IA]int{},
 		Injections: map[Kind]uint64{},
 	}
+}
+
+// SetTelemetry registers the per-kind injection counts as gauge funcs
+// (the Injections map is the source of truth; gauge funcs read it at
+// export time from serial context).
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, k := range []Kind{Flap, Gray, Spike, CrashAS} {
+		k := k
+		reg.GaugeFunc(fmt.Sprintf(`chaos_injections_total{kind=%q}`, k), func() float64 {
+			return float64(e.Injections[k])
+		})
+	}
+}
+
+// trace emits a fault lifecycle event. All chaos actions execute as
+// serial simulator events, so direct serial-shard emission keeps
+// deterministic order.
+func (e *Engine) trace(kind telemetry.EventKind, actor, subject uint64, reason string) {
+	e.Sim.Trace(sim.SerialShard, telemetry.Event{
+		Kind: kind, Actor: actor, Subject: subject, Reason: reason,
+	})
 }
 
 // AddTarget registers an additional fault target.
@@ -157,6 +182,7 @@ func (e *Engine) failLink(id topology.LinkID) {
 	if e.failDepth[id] != 1 {
 		return
 	}
+	e.trace(telemetry.FaultApplied, 0, uint64(id), "flap")
 	for _, t := range e.targets {
 		t.FailLink(id)
 	}
@@ -171,6 +197,7 @@ func (e *Engine) restoreLink(id topology.LinkID) {
 		return
 	}
 	delete(e.failDepth, id)
+	e.trace(telemetry.FaultHealed, 0, uint64(id), "flap")
 	for _, t := range e.targets {
 		t.RestoreLink(id)
 	}
@@ -183,6 +210,9 @@ func (e *Engine) restoreLink(id topology.LinkID) {
 func (e *Engine) LinkDown(id topology.LinkID) bool { return e.failDepth[id] > 0 }
 
 func (e *Engine) pushGray(id topology.LinkID, rate float64) {
+	if len(e.grayRates[id]) == 0 {
+		e.trace(telemetry.FaultApplied, 0, uint64(id), "gray")
+	}
 	e.grayRates[id] = append(e.grayRates[id], rate)
 	e.applyGray(id)
 }
@@ -197,6 +227,7 @@ func (e *Engine) popGray(id topology.LinkID, rate float64) {
 	}
 	if len(e.grayRates[id]) == 0 {
 		delete(e.grayRates, id)
+		e.trace(telemetry.FaultHealed, 0, uint64(id), "gray")
 	}
 	e.applyGray(id)
 }
@@ -215,6 +246,9 @@ func (e *Engine) applyGray(id topology.LinkID) {
 }
 
 func (e *Engine) pushSpike(id topology.LinkID, d time.Duration) {
+	if len(e.spikes[id]) == 0 {
+		e.trace(telemetry.FaultApplied, 0, uint64(id), "spike")
+	}
 	e.spikes[id] = append(e.spikes[id], d)
 	e.applySpike(id)
 }
@@ -229,6 +263,7 @@ func (e *Engine) popSpike(id topology.LinkID, d time.Duration) {
 	}
 	if len(e.spikes[id]) == 0 {
 		delete(e.spikes, id)
+		e.trace(telemetry.FaultHealed, 0, uint64(id), "spike")
 	}
 	e.applySpike(id)
 }
@@ -255,6 +290,7 @@ func (e *Engine) crashAS(ia addr.IA) {
 	if e.crashDepth[ia] != 1 {
 		return
 	}
+	e.trace(telemetry.FaultApplied, ia.Uint64(), 0, "crash")
 	for _, t := range e.crash {
 		t.Crash(ia)
 	}
@@ -269,6 +305,7 @@ func (e *Engine) restartAS(ia addr.IA) {
 		return
 	}
 	delete(e.crashDepth, ia)
+	e.trace(telemetry.FaultHealed, ia.Uint64(), 0, "crash")
 	for _, t := range e.crash {
 		t.Restart(ia)
 	}

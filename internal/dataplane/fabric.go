@@ -8,6 +8,7 @@ import (
 	"scionmpr/internal/addr"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -93,6 +94,23 @@ type Fabric struct {
 	Forwarded, Delivered, DroppedBadMAC, DroppedNoRoute, DroppedTooBig, Revocations uint64
 	// DroppedGray counts packets silently shed by gray failures.
 	DroppedGray uint64
+}
+
+// SetTelemetry registers the fabric's forwarding observables as gauge
+// funcs over its counters. Fabric networks run serially (no sharding),
+// so export-time reads are race-free and deterministic.
+func (f *Fabric) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	u := func(p *uint64) func() float64 { return func() float64 { return float64(*p) } }
+	reg.GaugeFunc("dataplane_forwarded_total", u(&f.Forwarded))
+	reg.GaugeFunc("dataplane_delivered_total", u(&f.Delivered))
+	reg.GaugeFunc("dataplane_revocations_total", u(&f.Revocations))
+	reg.GaugeFunc(`dataplane_dropped_total{cause="bad_mac"}`, u(&f.DroppedBadMAC))
+	reg.GaugeFunc(`dataplane_dropped_total{cause="no_route"}`, u(&f.DroppedNoRoute))
+	reg.GaugeFunc(`dataplane_dropped_total{cause="too_big"}`, u(&f.DroppedTooBig))
+	reg.GaugeFunc(`dataplane_dropped_total{cause="gray"}`, u(&f.DroppedGray))
 }
 
 // NewFabric registers a router handler for every AS in the topology.

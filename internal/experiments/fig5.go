@@ -13,6 +13,7 @@ import (
 	"scionmpr/internal/bgpsec"
 	"scionmpr/internal/core"
 	"scionmpr/internal/metrics"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -33,18 +34,13 @@ type Fig5Result struct {
 // topology, all scaled to one month and expressed relative to BGP at the
 // same monitor ASes.
 func RunFig5(s Scale) (*Fig5Result, error) {
-	stageStart := time.Now()
-	stage := func(name string) {
-		now := time.Now()
-		fmt.Fprintf(os.Stderr, "[fig5] %-14s %v\n", name, now.Sub(stageStart).Round(time.Millisecond))
-		stageStart = now
-	}
+	stages := telemetry.NewStages(s.Telemetry, os.Stderr, "fig5")
 	e, err := newEnv(s)
 	if err != nil {
 		return nil, err
 	}
 	monitors := e.monitors()
-	stage("topology")
+	stages.Done("topology")
 	res := &Fig5Result{Scale: s, Monitors: monitors}
 
 	// Scale factor from one simulated beaconing window to a month.
@@ -65,12 +61,12 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	stage("core baseline")
+	stages.Done("core baseline")
 	divRun, err := e.runCore(core.NewDiversity(core.DefaultParams(s.DissemLimit)), s.StoreLimit)
 	if err != nil {
 		return nil, err
 	}
-	stage("core diversity")
+	stages.Done("core diversity")
 
 	// Intra-ISD beaconing on the large ISD built from the full topology.
 	isdTopo, err := topology.BuildISD(e.full, s.ISDCores)
@@ -82,18 +78,20 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 	intraCfg.Lifetime = s.Lifetime
 	intraCfg.Duration = s.Duration
 	intraCfg.Workers = s.Workers
+	intraCfg.Telemetry = s.Telemetry
+	intraCfg.Tracer = s.Tracer
 	intraRun, err := beacon.Run(intraCfg)
 	if err != nil {
 		return nil, err
 	}
-	stage("intra-ISD")
+	stages.Done("intra-ISD")
 
 	// BGP convergence on the full topology; BGPsec derived from it.
 	bgpRes, err := bgp.Run(bgp.DefaultConfig(e.full))
 	if err != nil {
 		return nil, err
 	}
-	stage("bgp")
+	stages.Done("bgp")
 	// Calibrate prefix density to the real Internet so the BGP table —
 	// the denominator of every Figure 5 ratio — does not shrink
 	// quadratically with the scaled-down topology.

@@ -17,6 +17,7 @@ import (
 	"scionmpr/internal/beacon"
 	"scionmpr/internal/core"
 	"scionmpr/internal/graphalg"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -53,6 +54,12 @@ type Scale struct {
 	// 1 sequential, 0 the default (SCIONMPR_WORKERS or GOMAXPROCS).
 	// Results are byte-identical for every setting.
 	Workers int
+
+	// Telemetry, if set, receives counters and stage timers from every
+	// beaconing run the experiment performs.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, records structured trace events from the runs.
+	Tracer *telemetry.Tracer
 }
 
 // PaperScale is the full experiment setup of §5.1. Running it takes
@@ -182,6 +189,8 @@ func (e *env) runCore(factory core.Factory, storeLimit int) (*beacon.RunResult, 
 	cfg.Lifetime = e.scale.Lifetime
 	cfg.Duration = e.scale.Duration
 	cfg.Workers = e.scale.Workers
+	cfg.Telemetry = e.scale.Telemetry
+	cfg.Tracer = e.scale.Tracer
 	return beacon.Run(cfg)
 }
 

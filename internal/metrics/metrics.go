@@ -17,28 +17,49 @@ type CDF struct {
 	xs []float64 // sorted
 }
 
-// NewCDF builds a CDF; the input slice is copied.
+// NewCDF builds a CDF; the input slice is copied. NaN samples are
+// dropped — they carry no ordering information, and a NaN breaks the
+// sortedness invariant every query relies on (sort.Float64s leaves NaNs
+// in unspecified positions). ±Inf samples are kept and sort to the
+// extremes.
 func NewCDF(samples []float64) *CDF {
-	xs := append([]float64(nil), samples...)
+	xs := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			xs = append(xs, v)
+		}
+	}
 	sort.Float64s(xs)
 	return &CDF{xs: xs}
 }
 
-// Len returns the sample count.
+// Len returns the sample count (after NaN filtering).
 func (c *CDF) Len() int { return len(c.xs) }
 
-// At returns P(X <= x).
+// At returns the empirical P(X <= x). On an empty distribution every
+// probability is 0 (no sample is <= x); At(NaN) is NaN.
 func (c *CDF) At(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
 	if len(c.xs) == 0 {
 		return 0
+	}
+	if math.IsInf(x, 1) {
+		return 1 // every sample is <= +Inf, including +Inf samples
 	}
 	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
 	return float64(i) / float64(len(c.xs))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank.
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
+// convention: the smallest stored sample x such that at least ⌈q·n⌉
+// samples are <= x, i.e. xs[⌈q·n⌉-1] of the sorted samples. The result
+// is always an actual sample (no interpolation), q <= 0 yields the
+// minimum and q >= 1 the maximum. An empty distribution and Quantile(NaN)
+// yield NaN.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.xs) == 0 {
+	if len(c.xs) == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q <= 0 {

@@ -31,11 +31,77 @@ func TestCDFBasics(t *testing.T) {
 
 func TestCDFEmpty(t *testing.T) {
 	c := NewCDF(nil)
-	if c.At(5) != 0 {
-		t.Error("empty At")
+	if c.At(5) != 0 || c.At(math.Inf(1)) != 0 {
+		t.Error("empty At must be 0 everywhere")
 	}
 	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
 		t.Error("empty quantile/mean must be NaN")
+	}
+	if !math.IsNaN(c.Quantile(0)) || !math.IsNaN(c.Quantile(1)) {
+		t.Error("empty min/max quantiles must be NaN")
+	}
+}
+
+func TestCDFDropsNaNSamples(t *testing.T) {
+	c := NewCDF([]float64{3, math.NaN(), 1, math.NaN(), 2})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (NaNs dropped)", c.Len())
+	}
+	if c.Min() != 1 || c.Max() != 3 || c.Median() != 2 {
+		t.Errorf("min/max/median = %v/%v/%v", c.Min(), c.Max(), c.Median())
+	}
+	// Quantiles must stay monotone and well-defined at every q — the
+	// pre-filter failure mode was NaNs landing mid-slice and breaking
+	// the binary search and rank lookups.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := c.Quantile(q)
+		if math.IsNaN(v) || v < prev {
+			t.Fatalf("Quantile(%.2f) = %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+	// All-NaN input behaves exactly like empty input.
+	allNaN := NewCDF([]float64{math.NaN(), math.NaN()})
+	if allNaN.Len() != 0 || allNaN.At(1) != 0 || !math.IsNaN(allNaN.Quantile(0.5)) {
+		t.Error("all-NaN input must behave as empty")
+	}
+}
+
+func TestCDFAtSpecialInputs(t *testing.T) {
+	c := NewCDF([]float64{1, 2, math.Inf(1)})
+	if !math.IsNaN(c.At(math.NaN())) {
+		t.Error("At(NaN) must be NaN")
+	}
+	if got := c.At(math.Inf(1)); got != 1 {
+		t.Errorf("At(+Inf) = %v, want 1 (counts +Inf samples)", got)
+	}
+	if got := c.At(math.Inf(-1)); got != 0 {
+		t.Errorf("At(-Inf) = %v, want 0", got)
+	}
+	if got := c.At(2); got != 2.0/3.0 {
+		t.Errorf("At(2) = %v, want 2/3", got)
+	}
+	if !math.IsNaN(c.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) must be NaN")
+	}
+}
+
+// TestQuantileNearestRank pins the documented convention: the result is
+// sample ⌈q·n⌉-1 of the sorted slice, always an actual sample.
+func TestQuantileNearestRank(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.1, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20},
+		{0.51, 30}, {0.75, 30}, {0.76, 40}, {1, 40},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
 	}
 }
 

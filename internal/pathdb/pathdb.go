@@ -16,6 +16,7 @@ import (
 	"scionmpr/internal/addr"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 )
 
 // SegType classifies a registered path segment.
@@ -94,19 +95,50 @@ type Server struct {
 
 	// Stats for the Table 1 experiment.
 	Registrations, Deregistrations, Lookups, CacheHits, Revocations uint64
+
+	// Telemetry (nil no-ops when disabled). Path servers execute in
+	// serial simulation context, so cells live on the serial shard and
+	// traces are emitted directly.
+	clock                                    *sim.Simulator
+	cReg, cDereg, cLookup, cHit, cRevocation *telemetry.Cell
 }
 
 // NewServer creates a path server for an AS.
 func NewServer(local addr.IA, isCore bool, cacheTTL sim.Time) *Server {
 	return &Server{
-		Local: local,
-		Core:  isCore,
+		Local:   local,
+		Core:    isCore,
 		down:    map[addr.IA][]*seg.PCB{},
 		core:    map[addr.IA][]*seg.PCB{},
 		up:      nil,
 		revoked: map[seg.LinkKey]sim.Time{},
 		cache:   NewCache(cacheTTL),
 	}
+}
+
+// SetTelemetry resolves the server's metric cells in reg and attaches
+// the simulator used for trace emission (registration, revocation and
+// reinstatement events). Either argument may be nil.
+func (s *Server) SetTelemetry(reg *telemetry.Registry, clock *sim.Simulator) {
+	s.clock = clock
+	if reg == nil {
+		return
+	}
+	s.cReg = reg.Counter("pathdb_registrations_total").Cell(0)
+	s.cDereg = reg.Counter("pathdb_deregistrations_total").Cell(0)
+	s.cLookup = reg.Counter("pathdb_lookups_total").Cell(0)
+	s.cHit = reg.Counter("pathdb_cache_hits_total").Cell(0)
+	s.cRevocation = reg.Counter("pathdb_revocations_total").Cell(0)
+}
+
+// trace emits a path lifecycle event from serial context.
+func (s *Server) trace(kind telemetry.EventKind, subject, aux uint64, reason string) {
+	if s.clock == nil {
+		return
+	}
+	s.clock.Trace(sim.SerialShard, telemetry.Event{
+		Kind: kind, Actor: s.Local.Uint64(), Subject: subject, Aux: aux, Reason: reason,
+	})
 }
 
 // RegisterDown records a down-segment for the leaf AS at the end of the
@@ -122,6 +154,8 @@ func (s *Server) RegisterDown(now sim.Time, segment *seg.PCB) error {
 	}
 	dst := segment.Leaf()
 	s.Registrations++
+	s.cReg.Inc()
+	s.trace(telemetry.PathRegistered, dst.Uint64(), uint64(segment.NumHops()), "down")
 	s.down[dst] = upsert(s.down[dst], segment)
 	return nil
 }
@@ -135,6 +169,8 @@ func (s *Server) RegisterCore(now sim.Time, segment *seg.PCB) error {
 		return fmt.Errorf("pathdb: registering expired segment %v", segment)
 	}
 	s.Registrations++
+	s.cReg.Inc()
+	s.trace(telemetry.PathRegistered, segment.Origin().Uint64(), uint64(segment.NumHops()), "core")
 	// Core segments are looked up by origin: a path server asking "how do
 	// I reach core AS X" wants segments originated at X (traversed in
 	// reverse) or ending at X. We key by the far end (origin).
@@ -148,6 +184,8 @@ func (s *Server) RegisterUp(now sim.Time, segment *seg.PCB) error {
 		return fmt.Errorf("pathdb: registering expired segment %v", segment)
 	}
 	s.Registrations++
+	s.cReg.Inc()
+	s.trace(telemetry.PathRegistered, segment.Origin().Uint64(), uint64(segment.NumHops()), "up")
 	s.up = upsert(s.up, segment)
 	return nil
 }
@@ -175,6 +213,7 @@ func (s *Server) Deregister(segment *seg.PCB) bool {
 		if old.HopsKey() == key {
 			s.down[dst] = append(list[:i], list[i+1:]...)
 			s.Deregistrations++
+			s.cDereg.Inc()
 			return true
 		}
 	}
@@ -186,9 +225,11 @@ func (s *Server) Deregister(segment *seg.PCB) bool {
 // lifetimes and the Zipf distribution of destinations).
 func (s *Server) LookupDown(now sim.Time, dst addr.IA) []*seg.PCB {
 	s.Lookups++
+	s.cLookup.Inc()
 	s.expireRevocations(now)
 	if segs, ok := s.cache.Get(now, cacheKey{typ: Down, dst: dst}); ok {
 		s.CacheHits++
+		s.cHit.Inc()
 		return segs
 	}
 	segs := s.live(now, s.down[dst])
@@ -199,9 +240,11 @@ func (s *Server) LookupDown(now sim.Time, dst addr.IA) []*seg.PCB {
 // LookupCore answers a core-segment query for a core AS.
 func (s *Server) LookupCore(now sim.Time, dst addr.IA) []*seg.PCB {
 	s.Lookups++
+	s.cLookup.Inc()
 	s.expireRevocations(now)
 	if segs, ok := s.cache.Get(now, cacheKey{typ: Core, dst: dst}); ok {
 		s.CacheHits++
+		s.cHit.Inc()
 		return segs
 	}
 	segs := s.live(now, s.core[dst])
@@ -213,6 +256,7 @@ func (s *Server) LookupCore(now sim.Time, dst addr.IA) []*seg.PCB {
 // paper §4.1 "Endpoint Path Lookup").
 func (s *Server) LookupUp(now sim.Time) []*seg.PCB {
 	s.Lookups++
+	s.cLookup.Inc()
 	s.expireRevocations(now)
 	return s.live(now, s.up)
 }
@@ -246,16 +290,28 @@ func (s *Server) revokedSegment(p *seg.PCB) bool {
 // lapses the lookup cache is flushed so reinstated paths become visible
 // immediately.
 func (s *Server) expireRevocations(now sim.Time) {
-	changed := false
+	// Collect lapsed keys first and emit in sorted order: map iteration
+	// order must not leak into the deterministic trace stream.
+	var lapsed []seg.LinkKey
 	for lk, exp := range s.revoked {
 		if now >= exp {
-			delete(s.revoked, lk)
-			changed = true
+			lapsed = append(lapsed, lk)
 		}
 	}
-	if changed {
-		s.cache.Flush()
+	if len(lapsed) == 0 {
+		return
 	}
+	sort.Slice(lapsed, func(i, j int) bool {
+		if lapsed[i].IA != lapsed[j].IA {
+			return lapsed[i].IA.Less(lapsed[j].IA)
+		}
+		return lapsed[i].If < lapsed[j].If
+	})
+	for _, lk := range lapsed {
+		delete(s.revoked, lk)
+		s.trace(telemetry.PathReinstated, lk.IA.Uint64(), uint64(lk.If), "")
+	}
+	s.cache.Flush()
 }
 
 // RevokedActive reports whether link is under an unexpired revocation.
@@ -312,7 +368,9 @@ func (s *Server) RevokeFor(now sim.Time, link seg.LinkKey, ttl sim.Time) int {
 	s.cache.Flush()
 	if affected > 0 {
 		s.Revocations++
+		s.cRevocation.Inc()
 	}
+	s.trace(telemetry.PathRevoked, link.IA.Uint64(), uint64(link.If), "soft")
 	return affected
 }
 
@@ -342,7 +400,9 @@ func (s *Server) Revoke(link seg.LinkKey) int {
 	s.cache.Flush()
 	if dropped > 0 {
 		s.Revocations++
+		s.cRevocation.Inc()
 	}
+	s.trace(telemetry.PathRevoked, link.IA.Uint64(), uint64(link.If), "hard")
 	return dropped
 }
 

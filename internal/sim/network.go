@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scionmpr/internal/addr"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -322,6 +323,21 @@ func (n *Network) PerInterfaceTxBytes() []uint64 {
 		out[i] = n.counters[k].TxBytes
 	}
 	return out
+}
+
+// SetTelemetry registers the network's aggregate traffic observables.
+// All are deterministic: counters and drop counts mutate only in serial
+// or commit-ordered context, and gauge funcs are evaluated at export
+// time from serial context.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("net_tx_bytes_total", func() float64 { return float64(n.GrandTotalTx()) })
+	reg.GaugeFunc("net_interfaces_active", func() float64 { return float64(len(n.counters)) })
+	reg.GaugeFunc(`net_dropped_total{cause="no_handler"}`, func() float64 { return float64(n.Dropped) })
+	reg.GaugeFunc(`net_dropped_total{cause="failed_link"}`, func() float64 { return float64(n.DroppedOnFailedLinks) })
+	reg.GaugeFunc(`net_dropped_total{cause="loss"}`, func() float64 { return float64(n.DroppedByLoss) })
 }
 
 // ResetCounters clears all traffic counters (e.g. after a warm-up phase),

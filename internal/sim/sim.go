@@ -46,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"scionmpr/internal/telemetry"
 )
 
 // Time is virtual simulation time measured as a duration since simulation
@@ -118,6 +120,17 @@ type Simulator struct {
 	// only by the worker owning the shard.
 	frames []int32
 
+	// tracer, when set, receives structured telemetry events via Trace.
+	// traces stages parallel-phase emissions per event (indexed like the
+	// segment slice) for flushing in sequence-ordered commit.
+	tracer *telemetry.Tracer
+	traces [][]telemetry.Event
+
+	// parSegments/parEvents count segments and events that actually ran
+	// on the worker pool — a scheduler-shape observable that depends on
+	// the worker count (volatile telemetry, never fingerprinted).
+	parSegments, parEvents uint64
+
 	// Scratch buffers reused across batches to keep the hot loop
 	// allocation-free.
 	batch   []event
@@ -127,6 +140,57 @@ type Simulator struct {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// SetTracer attaches a trace-event ring. Call before Run. Events
+// emitted through Trace land in the ring in deterministic (time, seq)
+// order regardless of worker count.
+func (s *Simulator) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (s *Simulator) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Trace records a telemetry trace event, stamping ev.Time from the
+// virtual clock. From serial context the event goes straight to the
+// ring; from parallel execution it is staged on the calling actor's
+// event frame and flushed during the sequence-ordered commit, so ring
+// contents are byte-identical for any worker count.
+//
+// Determinism rule: call Trace only while the actor's event function is
+// on the stack — never from a deferred effect (an op committed after
+// the segment, e.g. inside a Network send), where the sequential and
+// parallel interleavings would differ. No-op when no tracer is set.
+func (s *Simulator) Trace(shard uint32, ev telemetry.Event) {
+	if s.tracer == nil {
+		return
+	}
+	ev.Time = int64(s.now)
+	if !s.inPar {
+		s.tracer.Emit(ev)
+		return
+	}
+	idx := int32(-1)
+	if int(shard) < len(s.frames) {
+		idx = s.frames[shard]
+	}
+	if idx < 0 {
+		panic("sim: trace from parallel execution must come from the executing actor's shard")
+	}
+	s.traces[idx] = append(s.traces[idx], ev)
+}
+
+// SetTelemetry registers the simulator's own metrics. Executed and
+// Pending are deterministic; the parallel scheduler shape (how many
+// events actually ran inside parallel segments) depends on the worker
+// count and is registered volatile.
+func (s *Simulator) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("sim_events_executed", func() float64 { return float64(s.Executed) })
+	reg.GaugeFunc("sim_events_pending", func() float64 { return float64(len(s.events)) })
+	reg.VolatileGaugeFunc("sim_parallel_segments", func() float64 { return float64(s.parSegments) })
+	reg.VolatileGaugeFunc("sim_parallel_events", func() float64 { return float64(s.parEvents) })
+}
 
 // SetWorkers sets the parallel worker count: 1 forces sequential
 // execution, n > 1 runs same-timestamp sharded events on up to n
@@ -393,11 +457,17 @@ func (s *Simulator) runParallel(evs []event) {
 		return
 	}
 
-	// Per-event effect lists and shard execution frames.
+	// Per-event effect and staged-trace lists, and shard execution frames.
 	if cap(s.ops) < len(evs) {
 		s.ops = make([][]func(), len(evs))
 	}
 	s.ops = s.ops[:len(evs)]
+	if cap(s.traces) < len(evs) {
+		s.traces = make([][]telemetry.Event, len(evs))
+	}
+	s.traces = s.traces[:len(evs)]
+	s.parSegments++
+	s.parEvents += uint64(len(evs))
 	if len(s.frames) < int(s.nextShard)+1 {
 		old := s.frames
 		s.frames = make([]int32, s.nextShard+1)
@@ -449,9 +519,16 @@ func (s *Simulator) runParallel(evs []event) {
 
 	// Commit deferred effects in sequence order: this replays schedules
 	// (assigning sequence numbers), traffic accounting, and RNG draws in
-	// exactly the order a sequential run would have produced.
+	// exactly the order a sequential run would have produced. Staged
+	// traces flush first — sequentially they were emitted while the event
+	// function ran, i.e. before any of its deferred effects applied.
 	for idx := range evs {
 		s.Executed++
+		for _, ev := range s.traces[idx] {
+			s.tracer.Emit(ev)
+		}
+		clear(s.traces[idx])
+		s.traces[idx] = s.traces[idx][:0]
 		for _, op := range s.ops[idx] {
 			op()
 		}

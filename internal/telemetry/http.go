@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// Serve starts an HTTP endpoint on addr exposing:
+//
+//	/metrics        Prometheus text format (volatile metrics included)
+//	/metrics.json   JSON snapshot of all metrics
+//	/snapshot       the deterministic snapshot (name value lines)
+//	/trace          retained trace events as JSONL (text with ?format=text)
+//	/debug/pprof/   net/http/pprof profiles (cpu, heap, mutex, ...)
+//	/debug/vars     expvar
+//
+// reg and tracer may be nil (their endpoints then serve empty bodies).
+// The server runs until the process exits; Serve returns the bound
+// address (useful with addr ":0") or an error if the listener cannot
+// be created.
+//
+// The simulator itself is single-goroutine per segment and not locked;
+// metric reads from HTTP handlers race with a running simulation in
+// principle, so the endpoint is opt-in and meant for coarse progress
+// inspection and pprof profiling, where approximate counter reads are
+// acceptable. The deterministic artifacts (fingerprint, golden files)
+// are always produced after the run from serial context.
+func Serve(addr string, reg *Registry, tracer *Tracer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	var mu sync.Mutex
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain")
+		reg.WriteSnapshot(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain")
+			tracer.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tracer.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/debug/pprof/")
+		switch name {
+		case "":
+			pprof.Index(w, r)
+		case "cmdline":
+			pprof.Cmdline(w, r)
+		case "profile":
+			pprof.Profile(w, r)
+		case "symbol":
+			pprof.Symbol(w, r)
+		case "trace":
+			pprof.Trace(w, r)
+		default:
+			pprof.Handler(name).ServeHTTP(w, r)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	go http.Serve(ln, mux) //nolint:errcheck // serves until process exit
+	return ln.Addr().String(), nil
+}

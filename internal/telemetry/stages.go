@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Stages times named sequential phases of a run, recording wall-clock
+// duration and allocation delta per stage. It replaces ad-hoc
+// time.Now() stage prints in the experiment drivers. Measurements are
+// wall-clock — inherently nondeterministic — so when a Registry is
+// attached they are recorded as volatile gauges, excluded from the
+// deterministic snapshot. A nil *Stages is a no-op.
+type Stages struct {
+	reg   *Registry
+	out   io.Writer // optional live log (e.g. os.Stderr); may be nil
+	label string    // log line prefix, e.g. "fig5"
+
+	last      time.Time
+	lastAlloc uint64
+	Stages    []Stage
+}
+
+// Stage is one completed measurement.
+type Stage struct {
+	Name  string
+	Wall  time.Duration
+	Alloc uint64 // bytes allocated during the stage (monotonic TotalAlloc delta)
+}
+
+// NewStages starts a stage clock. reg and out may each be nil.
+func NewStages(reg *Registry, out io.Writer, label string) *Stages {
+	s := &Stages{reg: reg, out: out, label: label}
+	s.last = time.Now()
+	s.lastAlloc = totalAlloc()
+	return s
+}
+
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// Done closes the current stage under the given name and starts the
+// next one.
+func (s *Stages) Done(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	alloc := totalAlloc()
+	st := Stage{Name: name, Wall: now.Sub(s.last), Alloc: alloc - s.lastAlloc}
+	s.last, s.lastAlloc = now, alloc
+	s.Stages = append(s.Stages, st)
+	if s.reg != nil {
+		s.reg.VolatileGauge(fmt.Sprintf("stage_wall_seconds{stage=%q}", name)).Set(st.Wall.Seconds())
+		s.reg.VolatileGauge(fmt.Sprintf("stage_alloc_bytes{stage=%q}", name)).Set(float64(st.Alloc))
+	}
+	if s.out != nil {
+		fmt.Fprintf(s.out, "[%s] %-14s %v (%.1f MB alloc)\n",
+			s.label, name, st.Wall.Round(time.Millisecond), float64(st.Alloc)/(1<<20))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"scionmpr/internal/addr"
 	"scionmpr/internal/dataplane"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	RevocationTTL time.Duration
 	// Seed drives the re-query jitter (default 1).
 	Seed int64
+	// Telemetry, if set, receives the engine's counters and the
+	// flow-duration histogram (virtual-time observations, deterministic).
+	// Trace events (flow retries and failover switches) go to the
+	// Clock's tracer when one is attached.
+	Telemetry *telemetry.Registry
 }
 
 // Engine runs flows over the fabric. Create with NewEngine, Add flows,
@@ -111,6 +117,12 @@ type Engine struct {
 	Revocations uint64
 	Requeries   uint64
 	Reprobes    uint64
+
+	// Telemetry cells and the flow-duration histogram (nil no-ops). The
+	// engine is serial, so everything lives on the serial shard.
+	cStarted, cCompleted, cFailed         *telemetry.Cell
+	cRequery, cReprobe, cSwitch, cRevoked *telemetry.Cell
+	hDuration                             *telemetry.HistCell
 }
 
 // NewEngine validates the config and applies defaults.
@@ -153,14 +165,39 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		byID:    map[int]*Flow{},
 		bySrc:   map[addr.IA][]*Flow{},
 		revoked: map[addr.IA]map[topology.LinkID]sim.Time{},
 		hooked:  map[addr.IA]bool{},
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		e.cStarted = reg.Counter("traffic_flows_started_total").Cell(0)
+		e.cCompleted = reg.Counter("traffic_flows_completed_total").Cell(0)
+		e.cFailed = reg.Counter("traffic_flows_failed_total").Cell(0)
+		e.cRequery = reg.Counter("traffic_requeries_total").Cell(0)
+		e.cReprobe = reg.Counter("traffic_reprobes_total").Cell(0)
+		e.cSwitch = reg.Counter("traffic_path_switches_total").Cell(0)
+		e.cRevoked = reg.Counter("traffic_revocations_total").Cell(0)
+		// Completed-flow duration in virtual seconds: 1ms .. ~17min.
+		e.hDuration = reg.Histogram("traffic_flow_duration_seconds",
+			telemetry.ExpBuckets(0.001, 4, 10)).Cell(0)
+	}
+	return e, nil
+}
+
+// trace emits a flow lifecycle event via the clock's tracer (serial
+// context; no-op when no tracer is attached).
+func (e *Engine) trace(kind telemetry.EventKind, f *Flow, aux uint64, reason string) {
+	e.cfg.Clock.Trace(sim.SerialShard, telemetry.Event{
+		Kind:    kind,
+		Actor:   f.spec.Src.Uint64(),
+		Subject: uint64(uint32(f.spec.ID)),
+		Aux:     aux,
+		Reason:  reason,
+	})
 }
 
 // Links exposes the capacity model (for utilization reporting).
@@ -202,6 +239,7 @@ func (e *Engine) RunUntil(d time.Duration) *Summary {
 func (e *Engine) start(f *Flow) {
 	f.state = flowActive
 	f.started = e.cfg.Clock.Now()
+	e.cStarted.Inc()
 	e.requery(f)
 }
 
@@ -217,6 +255,7 @@ func (e *Engine) requery(f *Flow) {
 		// The initial lookup is not a re-query.
 		f.requeries++
 		e.Requeries++
+		e.cRequery.Inc()
 	}
 	fps, err := e.cfg.Provider(f.spec.Src, f.spec.Dst)
 	var paths []*flowPath
@@ -229,8 +268,11 @@ func (e *Engine) requery(f *Flow) {
 		if f.retries >= e.cfg.MaxRetries {
 			f.state = flowFailed
 			f.finished = e.cfg.Clock.Now()
+			e.cFailed.Inc()
+			e.trace(telemetry.FlowRetry, f, uint64(f.retries), "exhausted")
 			return
 		}
+		e.trace(telemetry.FlowRetry, f, uint64(f.retries), "empty")
 		e.cfg.Clock.Schedule(e.retryDelay(f.retries), func() { e.requery(f) })
 		return
 	}
@@ -238,6 +280,8 @@ func (e *Engine) requery(f *Flow) {
 	if f.sent > 0 {
 		// A mid-transfer re-query is a forced path switch.
 		f.switches++
+		e.cSwitch.Inc()
+		e.trace(telemetry.FlowSwitch, f, uint64(len(paths)), "requery")
 	}
 	f.paths = paths
 	f.infos = f.infos[:0]
@@ -281,6 +325,7 @@ func (e *Engine) reprobe(f *Flow) {
 	f.lookups++
 	f.reprobes++
 	e.Reprobes++
+	e.cReprobe.Inc()
 	f.retries = 0
 	f.paths = paths
 	f.infos = f.infos[:0]
@@ -429,6 +474,12 @@ func (e *Engine) pump(f *Flow) {
 	p.busyUntil = now + sim.Time(tx)
 	if f.lastPath >= 0 && f.lastPath != idx {
 		f.switches++
+		e.cSwitch.Inc()
+		if f.paths[f.lastPath].revoked {
+			// Only failovers away from a revoked path are traced; the
+			// scheduler's routine striping alternation would flood the ring.
+			e.trace(telemetry.FlowSwitch, f, uint64(idx), "failover")
+		}
 	}
 	f.lastPath = idx
 	// The head packet may fail synchronously at the source border router,
@@ -467,6 +518,8 @@ func (e *Engine) maybeFinish(f *Flow) {
 		if f.sent >= f.spec.Size {
 			f.state = flowDone
 			f.finished = e.cfg.Clock.Now()
+			e.cCompleted.Inc()
+			e.hDuration.Observe(time.Duration(f.finished - f.started).Seconds())
 			return
 		}
 		e.pump(f)
@@ -529,6 +582,7 @@ func (e *Engine) handleSCMP(src addr.IA, msg *dataplane.SCMP) {
 		return
 	}
 	e.Revocations++
+	e.cRevoked.Inc()
 	link := e.cfg.Net.Topo.LinkByIf(msg.Link.IA, msg.Link.If)
 	if link != nil {
 		known := e.revoked[src]

@@ -31,6 +31,7 @@ import (
 	"scionmpr/internal/pathdb"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 	"scionmpr/internal/trust"
 )
@@ -70,6 +71,12 @@ type Options struct {
 	// of data-plane time); negative makes revocations permanent (the
 	// pre-chaos behavior).
 	RevocationTTL time.Duration
+	// Telemetry, if set, receives counters from the bootstrap beaconing
+	// runs, the path servers, and the data-plane fabric.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, records structured trace events across the
+	// bootstrap and data-plane phases.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultOptions returns the paper-aligned defaults.
@@ -173,6 +180,8 @@ func NewNetwork(topo *topology.Graph, opts Options) (*Network, error) {
 		cfg.Lifetime = opts.Lifetime
 		cfg.Infra = infra
 		cfg.Verify = opts.Verify
+		cfg.Telemetry = opts.Telemetry
+		cfg.Tracer = opts.Tracer
 		return beacon.Run(cfg)
 	}
 	if n.coreRun, err = runMode(beacon.CoreMode); err != nil {
@@ -181,13 +190,17 @@ func NewNetwork(topo *topology.Graph, opts Options) (*Network, error) {
 	if n.intraRun, err = runMode(beacon.IntraMode); err != nil {
 		return nil, err
 	}
+	n.clock = &sim.Simulator{}
+	n.clock.SetTracer(opts.Tracer)
+	n.clock.SetTelemetry(opts.Telemetry)
 	if err := n.registerSegments(); err != nil {
 		return nil, err
 	}
 
-	n.clock = &sim.Simulator{}
 	n.netSim = sim.NewNetwork(n.clock, topo, opts.LinkDelay)
+	n.netSim.SetTelemetry(opts.Telemetry)
 	n.fabric = dataplane.NewFabric(n.netSim, infra.ForwardingKey)
+	n.fabric.SetTelemetry(opts.Telemetry)
 	// One delivery demux per AS: service-addressed packets go to the
 	// control service (segment requests and replies); everything else
 	// fans out to the AS's hosts.
@@ -256,7 +269,9 @@ func (n *Network) registerSegments() error {
 		coresByISD[c.ISD] = append(coresByISD[c.ISD], c)
 	}
 	for _, ia := range n.Topo.IAs() {
-		n.pathServers[ia] = pathdb.NewServer(ia, n.Topo.AS(ia).Core, sim.Time(time.Hour))
+		ps := pathdb.NewServer(ia, n.Topo.AS(ia).Core, sim.Time(time.Hour))
+		ps.SetTelemetry(n.Opts.Telemetry, n.clock)
+		n.pathServers[ia] = ps
 	}
 	for _, ia := range n.Topo.IAs() {
 		if n.Topo.AS(ia).Core {
