@@ -11,6 +11,9 @@
 //	churn       extra: continuous flap churn — time-to-reconnect and
 //	            goodput recovery of diversity vs baseline vs BGP under a
 //	            deterministic fault-injection schedule
+//	serve       extra: path-lookup serving layer under closed-loop load
+//	            (Zipf destinations, epoch snapshots, chaos revocations);
+//	            see also cmd/pathserve for the million-endpoint run
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | scionlab | convergence | ablation | gridsearch | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr  = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration  = flag.Duration("duration", 0, "override beaconing duration")
 		pairs     = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -177,6 +180,16 @@ func main() {
 	if want("churn") {
 		runOne("churn", func() error {
 			res, err := experiments.RunChurn(scale)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("serve") {
+		runOne("serve", func() error {
+			res, err := experiments.RunServe(scale, experiments.DefaultServeConfig())
 			if err != nil {
 				return err
 			}

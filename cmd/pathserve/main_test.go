@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smokeCfg() config {
+	return config{
+		scale:     "smoke",
+		endpoints: 2000,
+		actors:    8,
+		shards:    8,
+		duration:  4 * time.Second,
+		think:     150 * time.Millisecond,
+		tick:      25 * time.Millisecond,
+		zipf:      1.2,
+		cacheTTL:  time.Second,
+		seed:      1,
+	}
+}
+
+// TestRunDeterministic is the binary-level acceptance gate: the full
+// stdout of a run — tables, counters and the closing fingerprint — must
+// be byte-identical across invocations and across worker counts.
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker comparison is not short")
+	}
+	outs := make(map[int]string)
+	for _, w := range []int{1, 4} {
+		cfg := smokeCfg()
+		cfg.workers = w
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		outs[w] = buf.String()
+	}
+	if outs[1] != outs[4] {
+		t.Errorf("output differs between workers=1 and workers=4:\n--- w1 ---\n%s\n--- w4 ---\n%s", outs[1], outs[4])
+	}
+	if !strings.Contains(outs[1], "fingerprint: ") {
+		t.Errorf("output missing fingerprint line:\n%s", outs[1])
+	}
+
+	// Same config again: the run itself must be reproducible.
+	var again bytes.Buffer
+	cfg := smokeCfg()
+	cfg.workers = 1
+	if err := run(&again, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != outs[1] {
+		t.Error("repeated identical run produced different output")
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs are not short")
+	}
+	var a, b bytes.Buffer
+	ca := smokeCfg()
+	if err := run(&a, ca); err != nil {
+		t.Fatal(err)
+	}
+	cb := smokeCfg()
+	cb.seed = 2
+	if err := run(&b, cb); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smokeCfg()
+	cfg.traceOut = filepath.Join(dir, "trace.jsonl")
+	cfg.snapOut = filepath.Join(dir, "snapshot.txt")
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tr, []byte("snapshot_published")) {
+		t.Error("trace file has no snapshot_published events")
+	}
+	snap, err := os.ReadFile(cfg.snapOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snap, []byte("pathsrv_lookups_total")) {
+		t.Error("snapshot file has no pathsrv counters")
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.duration = 3 * time.Second
+	cfg.endpoints = 500
+	cfg.bench = true
+	cfg.benchReaders = 2
+	cfg.benchOps = 500
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.scale = "galactic"
+	if err := run(&bytes.Buffer{}, cfg); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package pathdb
+
+import (
+	"fmt"
+	"testing"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// benchServer registers n down-segments toward leafA, all distinct in
+// their middle hop, on a server with the given cache TTL.
+func benchServer(b testing.TB, n int, cacheTTL sim.Time) *Server {
+	s := NewServer(core1, true, cacheTTL)
+	for i := 0; i < n; i++ {
+		sg := mkSeg(b, core1, 0, 10, uint64(100+i), 30)
+		if err := s.RegisterDown(0, sg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkLookupDown measures the uncached lookup hot path the serving
+// layer sits on: stored lists are pre-sorted, and with nothing expired or
+// revoked the reply is the stored slice itself (no allocation, no sort).
+func BenchmarkLookupDown(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("segs=%d", n), func(b *testing.B) {
+			s := benchServer(b, n, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.LookupDown(0, leafA); len(got) != n {
+					b.Fatalf("lookup = %d segments, want %d", len(got), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLookupDownCached measures the steady-state TTL-cache hit path.
+func BenchmarkLookupDownCached(b *testing.B) {
+	for _, n := range []int{8, 512} {
+		b.Run(fmt.Sprintf("segs=%d", n), func(b *testing.B) {
+			s := benchServer(b, n, hour)
+			s.LookupDown(0, leafA) // fill
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.LookupDown(0, leafA)
+			}
+		})
+	}
+}
+
+// BenchmarkLookupDownRevoked measures the filtered path: one active
+// revocation hides part of the stored list, so every lookup rebuilds a
+// filtered reply.
+func BenchmarkLookupDownRevoked(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("segs=%d", n), func(b *testing.B) {
+			s := benchServer(b, n, 0)
+			// Revoke the first segment's middle link far in the future so
+			// the revocation never lapses during the benchmark.
+			s.RevokeFor(0, seg.LinkKey{IA: addr.MustIA(1, 100), If: 2}, 1000*hour)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.LookupDown(0, leafA); len(got) != n-1 {
+					b.Fatalf("lookup = %d segments, want %d", len(got), n-1)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegisterDown measures sorted upsert cost at growing list sizes.
+func BenchmarkRegisterDown(b *testing.B) {
+	segs := make([]*seg.PCB, 512)
+	for i := range segs {
+		segs[i] = mkSeg(b, core1, 0, 10, uint64(100+i), 30)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewServer(core1, true, 0)
+		for _, sg := range segs {
+			if err := s.RegisterDown(0, sg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestLookupNoAllocsSteadyState pins the hot-path guarantee the pathsrv
+// serving layer relies on: with nothing expired or revoked, a lookup
+// (cached or not) performs zero allocations.
+func TestLookupNoAllocsSteadyState(t *testing.T) {
+	uncached := benchServer(t, 64, 0)
+	cached := benchServer(t, 64, hour)
+	cached.LookupDown(0, leafA) // fill the TTL cache
+	for name, s := range map[string]*Server{"uncached": uncached, "cached": cached} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if got := s.LookupDown(0, leafA); len(got) != 64 {
+				t.Fatalf("lookup = %d segments", len(got))
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s lookup allocates %.1f times per op, want 0", name, allocs)
+		}
+	}
+}

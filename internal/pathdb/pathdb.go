@@ -190,17 +190,32 @@ func (s *Server) RegisterUp(now sim.Time, segment *seg.PCB) error {
 	return nil
 }
 
+// segLess is the canonical lookup-reply order: fewest hops first, then
+// by hops key. Stored lists are kept in this order by upsert so lookups
+// can serve them without sorting.
+func segLess(a, b *seg.PCB) bool {
+	if a.NumHops() != b.NumHops() {
+		return a.NumHops() < b.NumHops()
+	}
+	return a.HopsKey() < b.HopsKey()
+}
+
 func upsert(list []*seg.PCB, segment *seg.PCB) []*seg.PCB {
 	key := segment.HopsKey()
 	for i, old := range list {
 		if old.HopsKey() == key {
+			// Same hops key means the same sort position: refresh in place.
 			if segment.Info.Expiry > old.Info.Expiry {
 				list[i] = segment
 			}
 			return list
 		}
 	}
-	return append(list, segment)
+	i := sort.Search(len(list), func(i int) bool { return !segLess(list[i], segment) })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = segment
+	return list
 }
 
 // Deregister removes a previously registered down-segment by its path
@@ -262,19 +277,29 @@ func (s *Server) LookupUp(now sim.Time) []*seg.PCB {
 }
 
 // live filters like valid and additionally hides segments that traverse
-// an actively revoked link.
+// an actively revoked link. Stored lists are maintained in segLess order
+// (see upsert), so when nothing needs filtering the stored slice is
+// returned directly — the common case allocates and sorts nothing.
+// Callers must treat the reply as read-only.
 func (s *Server) live(now sim.Time, in []*seg.PCB) []*seg.PCB {
-	if len(s.revoked) == 0 {
-		return valid(now, in)
+	drop := func(p *seg.PCB) bool {
+		return p.Expired(now) || (len(s.revoked) > 0 && s.revokedSegment(p))
 	}
-	var keep []*seg.PCB
-	for _, p := range in {
-		if s.revokedSegment(p) {
-			continue
+	i := 0
+	for i < len(in) && !drop(in[i]) {
+		i++
+	}
+	if i == len(in) {
+		return in
+	}
+	out := make([]*seg.PCB, i, len(in)-1)
+	copy(out, in[:i])
+	for _, p := range in[i+1:] {
+		if !drop(p) {
+			out = append(out, p)
 		}
-		keep = append(keep, p)
 	}
-	return valid(now, keep)
+	return out
 }
 
 func (s *Server) revokedSegment(p *seg.PCB) bool {
@@ -318,22 +343,6 @@ func (s *Server) expireRevocations(now sim.Time) {
 func (s *Server) RevokedActive(now sim.Time, link seg.LinkKey) bool {
 	exp, ok := s.revoked[link]
 	return ok && now < exp
-}
-
-func valid(now sim.Time, in []*seg.PCB) []*seg.PCB {
-	var out []*seg.PCB
-	for _, p := range in {
-		if !p.Expired(now) {
-			out = append(out, p)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].NumHops() != out[j].NumHops() {
-			return out[i].NumHops() < out[j].NumHops()
-		}
-		return out[i].HopsKey() < out[j].HopsKey()
-	})
-	return out
 }
 
 // RevokeFor places link under a timed revocation: segments over it are

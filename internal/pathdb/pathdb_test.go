@@ -17,7 +17,7 @@ type fakeSigner struct{ ia addr.IA }
 func (f fakeSigner) IA() addr.IA                 { return f.ia }
 func (f fakeSigner) Sign([]byte) ([]byte, error) { return make([]byte, trust.SignatureLen), nil }
 
-func mkSeg(t *testing.T, origin addr.IA, ts sim.Time, hops ...uint64) *seg.PCB {
+func mkSeg(t testing.TB, origin addr.IA, ts sim.Time, hops ...uint64) *seg.PCB {
 	t.Helper()
 	p := seg.NewPCB(origin, 1, ts, 6*hour)
 	var err error
@@ -181,6 +181,155 @@ func TestRevoke(t *testing.T) {
 	// Revoking an unknown link drops nothing.
 	if n := s.Revoke(seg.LinkKey{IA: addr.MustIA(9, 9), If: 1}); n != 0 {
 		t.Errorf("bogus revoke dropped %d", n)
+	}
+}
+
+// keysOf renders a lookup reply as its ordered hops keys.
+func keysOf(segs []*seg.PCB) []string {
+	out := make([]string, len(segs))
+	for i, p := range segs {
+		out[i] = p.HopsKey()
+	}
+	return out
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLookupOrderingStable pins the canonical reply order the pathsrv
+// snapshot layer must reproduce: fewest hops first, then by hops key,
+// independent of registration order.
+func TestLookupOrderingStable(t *testing.T) {
+	s := NewServer(core1, true, 0)
+	// Register out of order: a 4-hop segment, then two 3-hop ones with
+	// middle hops that sort in reverse registration order.
+	long := mkSeg(t, core1, 0, 10, 20, 25, 30)
+	hiMid := mkSeg(t, core1, 0, 10, 90, 30)
+	loMid := mkSeg(t, core1, 0, 10, 40, 30)
+	for _, sg := range []*seg.PCB{long, hiMid, loMid} {
+		if err := s.RegisterDown(0, sg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.LookupDown(0, leafA)
+	if len(got) != 3 {
+		t.Fatalf("lookup = %d segments", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.NumHops() > b.NumHops() ||
+			(a.NumHops() == b.NumHops() && a.HopsKey() >= b.HopsKey()) {
+			t.Fatalf("reply out of order at %d: %v", i, keysOf(got))
+		}
+	}
+	if got[2] != long {
+		t.Error("4-hop segment must sort last")
+	}
+}
+
+// TestRevokeForReinstatementOrdering is the documented baseline for
+// pathsrv snapshot publication: a timed revocation hides exactly the
+// affected segments, and once it lapses the original reply — same
+// segments, same order — reappears without re-registration.
+func TestRevokeForReinstatementOrdering(t *testing.T) {
+	s := NewServer(core1, true, 0)
+	affected := mkSeg(t, core1, 0, 10, 20, 30)
+	clean := mkSeg(t, core1, 0, 10, 40, 30)
+	other := mkSeg(t, core1, 0, 10, 20, 25, 30) // also over 1-20#2, 4 hops
+	for _, sg := range []*seg.PCB{affected, clean, other} {
+		if err := s.RegisterDown(0, sg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := keysOf(s.LookupDown(0, leafA))
+	if len(before) != 3 {
+		t.Fatalf("pre-revocation reply = %d segments", len(before))
+	}
+
+	link := seg.LinkKey{IA: addr.MustIA(1, 20), If: 2}
+	if n := s.RevokeFor(0, link, hour); n != 2 {
+		t.Fatalf("RevokeFor hid %d segments, want 2", n)
+	}
+	if !s.RevokedActive(30*sim.Time(time.Minute), link) {
+		t.Error("revocation must be active before its TTL")
+	}
+	hidden := s.LookupDown(30*sim.Time(time.Minute), leafA)
+	if len(hidden) != 1 || hidden[0].HopsKey() != clean.HopsKey() {
+		t.Fatalf("mid-revocation reply = %v, want only clean", keysOf(hidden))
+	}
+
+	// Past the TTL the revocation lapses on the next lookup; the reply
+	// must be byte-identical to the pre-revocation reply, in the same
+	// order, with no re-registration in between.
+	after := keysOf(s.LookupDown(hour+1, leafA))
+	if !sameKeys(before, after) {
+		t.Errorf("reinstated reply %v != original %v", after, before)
+	}
+	if s.RevokedActive(hour+1, link) {
+		t.Error("revocation still active after TTL")
+	}
+	if s.Registrations != 3 {
+		t.Errorf("reinstatement must not re-register: %d registrations", s.Registrations)
+	}
+}
+
+// TestReinstatementFlushesCache asserts the cache cannot serve a stale
+// mid-revocation reply after the revocation lapses.
+func TestReinstatementFlushesCache(t *testing.T) {
+	s := NewServer(core1, true, 10*hour)
+	affected := mkSeg(t, core1, 0, 10, 20, 30)
+	clean := mkSeg(t, core1, 0, 10, 40, 30)
+	s.RegisterDown(0, affected)
+	s.RegisterDown(0, clean)
+
+	link := seg.LinkKey{IA: addr.MustIA(1, 20), If: 2}
+	s.RevokeFor(0, link, hour)
+	mid := s.LookupDown(1, leafA) // miss (revocation flushed), caches the hidden view
+	if len(mid) != 1 {
+		t.Fatalf("mid-revocation reply = %d segments", len(mid))
+	}
+	if got := s.LookupDown(2, leafA); len(got) != 1 {
+		t.Fatalf("cached mid-revocation reply = %d segments", len(got))
+	}
+	hits := s.CacheHits
+	if hits == 0 {
+		t.Fatal("second mid-revocation lookup must hit the cache")
+	}
+	// Lapse: the flush must evict the 1-segment entry.
+	after := s.LookupDown(hour+1, leafA)
+	if len(after) != 2 {
+		t.Fatalf("post-reinstatement reply = %d segments, want 2", len(after))
+	}
+	if s.CacheHits != hits {
+		t.Error("post-reinstatement lookup served from the stale cache")
+	}
+}
+
+// TestReregistrationKeepsOrder checks that refreshing a segment's expiry
+// in place does not disturb the sorted stored list.
+func TestReregistrationKeepsOrder(t *testing.T) {
+	s := NewServer(core1, true, 0)
+	a := mkSeg(t, core1, 0, 10, 20, 30)
+	b := mkSeg(t, core1, 0, 10, 40, 30)
+	s.RegisterDown(0, a)
+	s.RegisterDown(0, b)
+	before := keysOf(s.LookupDown(0, leafA))
+	fresh := mkSeg(t, core1, 2*hour, 10, 20, 30)
+	if err := s.RegisterDown(2*hour, fresh); err != nil {
+		t.Fatal(err)
+	}
+	after := keysOf(s.LookupDown(2*hour, leafA))
+	if !sameKeys(before, after) {
+		t.Errorf("re-registration reordered the reply: %v -> %v", before, after)
 	}
 }
 

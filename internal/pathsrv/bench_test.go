@@ -1,0 +1,161 @@
+package pathsrv
+
+import (
+	"io"
+	"testing"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// benchService registers a pairs x segsPerPair mesh and publishes it.
+func benchService(tb testing.TB, pairs, segsPerPair int) (*Service, []addr.IA, []addr.IA) {
+	tb.Helper()
+	svc := New(Config{})
+	sources := []addr.IA{addr.MustIA(1, 10), addr.MustIA(1, 11)}
+	var dests []addr.IA
+	for d := 0; d < pairs; d++ {
+		dst := addr.MustIA(1, addr.AS(1000+d))
+		dests = append(dests, dst)
+		for _, src := range sources {
+			for i := 0; i < segsPerPair; i++ {
+				p := mkSeg(tb, 0, uint64(src.AS), uint64(100+i), uint64(dst.AS))
+				if err := svc.Register(0, p); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	svc.Publish(0)
+	return svc, sources, dests
+}
+
+func BenchmarkServiceLookup(b *testing.B) {
+	svc, sources, dests := benchService(b, 1024, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segs, _ := svc.Lookup(0, sources[i&1], dests[i%len(dests)])
+		if len(segs) != 4 {
+			b.Fatalf("lookup = %d segments", len(segs))
+		}
+	}
+}
+
+func BenchmarkServiceLookupParallel(b *testing.B) {
+	svc, sources, dests := benchService(b, 1024, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			svc.Lookup(0, sources[i&1], dests[i%len(dests)])
+			i++
+		}
+	})
+}
+
+func BenchmarkCachedLookup(b *testing.B) {
+	svc, sources, dests := benchService(b, 256, 4)
+	cache := NewLocalCache(hour, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Lookup(0, svc, sources[i&1], dests[i%len(dests)])
+	}
+}
+
+func BenchmarkPublishDirtyShard(b *testing.B) {
+	svc, _, dests := benchService(b, 1024, 4)
+	// Each iteration dirties one shard via a refresh and republishes.
+	refresh := make([]*seg.PCB, b.N)
+	for i := range refresh {
+		dst := dests[i%len(dests)]
+		refresh[i] = mkSeg(b, sim.Time(i+1), 10, 100, uint64(dst.AS))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Register(sim.Time(i+1), refresh[i]); err != nil {
+			b.Fatal(err)
+		}
+		svc.Publish(sim.Time(i + 1))
+	}
+}
+
+func BenchmarkRevokeReinstate(b *testing.B) {
+	svc, _, _ := benchService(b, 1024, 4)
+	link := seg.LinkKey{IA: addr.MustIA(1, 100), If: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.RevokeLink(0, link, hour)
+		svc.ReinstateLink(0, link)
+	}
+}
+
+// TestReadBenchSmoke exercises the wall-clock read benchmark with a
+// concurrent writer — under -race this is the serving layer's
+// concurrency proof: immutable snapshots + atomic swaps, no locks.
+func TestReadBenchSmoke(t *testing.T) {
+	svc, sources, dests := benchService(t, 128, 3)
+	svc.DetachClock()
+	tick := 0
+	res := ReadBench(svc, BenchConfig{
+		Readers:  4,
+		Ops:      2000,
+		Sources:  sources,
+		Dests:    dests,
+		ZipfS:    1.2,
+		Seed:     7,
+		CacheTTL: hour,
+		CacheCap: 256,
+		Now:      0,
+		Mutate: func(i int) {
+			// Refresh one pair and flip one link so readers race real
+			// publications, revocations and reinstatements.
+			tick++
+			now := sim.Time(tick)
+			dst := dests[i%len(dests)]
+			p := mkSeg(t, now, 10, 100, uint64(dst.AS))
+			if err := svc.Register(now, p); err != nil {
+				t.Error(err)
+			}
+			svc.Publish(now)
+			link := seg.LinkKey{IA: addr.MustIA(1, 101), If: 2}
+			if i%2 == 0 {
+				svc.RevokeLink(now, link, 1000*hour)
+			} else {
+				svc.ReinstateLink(now, link)
+			}
+		},
+	})
+	if res.Ops != 8000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Empties != 0 {
+		t.Errorf("%d empty replies in a full mesh", res.Empties)
+	}
+	if res.QPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Errorf("implausible latency profile: %+v", res)
+	}
+	if res.Mutations == 0 {
+		t.Error("writer never ran")
+	}
+	res.Print(io.Discard)
+}
+
+func TestReadBenchDefaults(t *testing.T) {
+	svc, sources, dests := benchService(t, 8, 1)
+	res := ReadBench(svc, BenchConfig{
+		Readers: -1,
+		Ops:     100, // small but explicit; defaults only for Readers
+		Sources: sources,
+		Dests:   dests,
+		ZipfS:   1.1,
+	})
+	if res.Readers != 4 || res.Ops != 400 {
+		t.Fatalf("defaults: %+v", res)
+	}
+}

@@ -1,0 +1,46 @@
+package pathsrv
+
+import (
+	"scionmpr/internal/chaos"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/topology"
+)
+
+// WireChaos feeds the fault plane into the serving layer: when the
+// chaos engine fails a link, both of its directed interfaces are
+// revoked in the service (hiding every served path across the link
+// within one publication), and when the link heals they are reinstated.
+// Existing engine hooks (e.g. beacon-server revocation feeds) are
+// chained, not replaced. ttl <= 0 uses the service's default revocation
+// TTL — the backstop in case the restore event is lost.
+func WireChaos(clock *sim.Simulator, eng *chaos.Engine, topo *topology.Graph, svc *Service, ttl sim.Time) {
+	keys := func(id topology.LinkID) (seg.LinkKey, seg.LinkKey, bool) {
+		l := topo.LinkByID(id)
+		if l == nil {
+			return seg.LinkKey{}, seg.LinkKey{}, false
+		}
+		return seg.LinkKey{IA: l.A, If: l.AIf}, seg.LinkKey{IA: l.B, If: l.BIf}, true
+	}
+	prevFail, prevRestore := eng.OnFail, eng.OnRestore
+	eng.OnFail = func(id topology.LinkID) {
+		if prevFail != nil {
+			prevFail(id)
+		}
+		if a, b, ok := keys(id); ok {
+			now := clock.Now()
+			svc.RevokeLink(now, a, ttl)
+			svc.RevokeLink(now, b, ttl)
+		}
+	}
+	eng.OnRestore = func(id topology.LinkID) {
+		if prevRestore != nil {
+			prevRestore(id)
+		}
+		if a, b, ok := keys(id); ok {
+			now := clock.Now()
+			svc.ReinstateLink(now, a)
+			svc.ReinstateLink(now, b)
+		}
+	}
+}

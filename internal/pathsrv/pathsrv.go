@@ -1,0 +1,569 @@
+// Package pathsrv is the path-lookup serving layer: a sharded,
+// concurrent path-query service layered over the pathdb/beaconing
+// control plane, sized for a closed-loop population of millions of
+// endpoints (paper §3 "Deployment", §4.1 "Endpoint Path Lookup").
+//
+// # Architecture
+//
+// The service is read-mostly. Destinations are hashed onto a fixed set
+// of shards; each shard's serving state is an immutable snapshot reached
+// through an atomic pointer, so a lookup is two pointer loads and a map
+// probe — no locks, no allocation on the fast path. All writes
+// (segment registrations from beacon servers, link revocations and
+// reinstatements from the chaos/fault plane) mutate a writer-owned
+// master copy and batch into epoch publications: Publish rebuilds only
+// the dirty shards and swaps their snapshot pointers. Lookups observe
+// either the old or the new epoch, never a torn mix.
+//
+// Client-side, a Cache (one per client actor or reader goroutine)
+// memoizes (src, dst) replies. Invalidation is precise rather than
+// flush-everything: every publication diffs each rebuilt pair against
+// the previous snapshot and evicts exactly the cached pairs whose path
+// set changed — so a revocation storm invalidates the affected pairs
+// and nothing else.
+//
+// # Determinism and concurrency contract
+//
+// In simulation the writer side (Register, RevokeLink, ReinstateLink,
+// Publish) runs in serial simulator events, while lookups run on
+// parallel client-actor shards and touch only immutable snapshots plus
+// the actor's own cache and telemetry cells — worker-count-invariant by
+// the same discipline as internal/sim. Outside the simulation the same
+// structure holds with goroutines: one writer, any number of readers
+// with local caches (see ReadBench). Registered caches are walked by
+// the writer during publication, so a concurrent reader must use an
+// unregistered local cache (NewLocalCache).
+package pathsrv
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/telemetry"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Shards is the destination shard count, clamped to [1, 64]
+	// (default 16). The shard of a destination is a pure function of its
+	// IA, so shard assignment never depends on execution order.
+	Shards int
+	// RevocationTTL bounds how long a revocation without explicit
+	// reinstatement hides segments (default 2s of virtual time);
+	// RevokeLink callers may override per call.
+	RevocationTTL sim.Time
+	// Clock, if set, timestamps trace events (serial context only).
+	Clock *sim.Simulator
+	// Telemetry, if set, receives the service's counters and gauges.
+	Telemetry *telemetry.Registry
+}
+
+// pairKey identifies one (src, dst) query.
+type pairKey struct {
+	src, dst addr.IA
+}
+
+// pairEntry is one pair's immutable serving state inside a snapshot.
+type pairEntry struct {
+	segs []*seg.PCB
+	// minExpiry is the earliest expiry among segs: before it the slice
+	// can be served as-is with no per-segment expiry checks.
+	minExpiry sim.Time
+}
+
+// snapshot is one shard's immutable serving state. A new snapshot is
+// built for every mutation batch that touches the shard and installed
+// with an atomic pointer swap; lookups never see it change.
+type snapshot struct {
+	epoch uint64
+	pairs map[pairKey]pairEntry
+	// minExpiry is the earliest segment expiry across all pairs (0 when
+	// empty): past it the snapshot holds dead segments and the next
+	// publication must rebuild the shard even without new registrations.
+	minExpiry sim.Time
+}
+
+var emptySnapshot = &snapshot{pairs: map[pairKey]pairEntry{}}
+
+// Service is the sharded path-query service.
+type Service struct {
+	nshards uint32
+	revTTL  sim.Time
+
+	// snaps are the per-shard atomic snapshot pointers — the only state
+	// the lookup path touches.
+	snaps []atomic.Pointer[snapshot]
+
+	// Writer-owned state. Only the writer (serial simulator events, or
+	// the single writer goroutine outside the sim) may touch it.
+	master     []map[pairKey][]*seg.PCB
+	linkShards map[seg.LinkKey]uint64 // link -> bitmask of shards storing it
+	revoked    map[seg.LinkKey]sim.Time
+	dirty      uint64 // bitmask of shards needing a rebuild
+	epoch      uint64
+	caches     []*Cache
+
+	// Stats mirror the telemetry counters for registry-free use.
+	Registrations, Refreshes, Publishes, PublishedShards uint64
+	Revocations, Reinstatements, Invalidations, Rejected uint64
+
+	clock                               *sim.Simulator
+	cReg, cRefresh, cPub, cRev, cRein   *telemetry.Cell
+	cInvPublish, cInvRevoke, cInvRetire *telemetry.Cell
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	if n > 64 {
+		n = 64
+	}
+	ttl := cfg.RevocationTTL
+	if ttl <= 0 {
+		ttl = 2 * sim.Time(1e9)
+	}
+	s := &Service{
+		nshards:    uint32(n),
+		revTTL:     ttl,
+		snaps:      make([]atomic.Pointer[snapshot], n),
+		master:     make([]map[pairKey][]*seg.PCB, n),
+		linkShards: map[seg.LinkKey]uint64{},
+		revoked:    map[seg.LinkKey]sim.Time{},
+		clock:      cfg.Clock,
+	}
+	for i := range s.snaps {
+		s.snaps[i].Store(emptySnapshot)
+		s.master[i] = map[pairKey][]*seg.PCB{}
+	}
+	s.setTelemetry(cfg.Telemetry)
+	return s
+}
+
+func (s *Service) setTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.cReg = reg.Counter("pathsrv_registrations_total").Cell(0)
+	s.cRefresh = reg.Counter("pathsrv_registration_refreshes_total").Cell(0)
+	s.cPub = reg.Counter("pathsrv_publishes_total").Cell(0)
+	s.cRev = reg.Counter("pathsrv_revocations_total").Cell(0)
+	s.cRein = reg.Counter("pathsrv_reinstatements_total").Cell(0)
+	s.cInvPublish = reg.Counter(`pathsrv_cache_invalidations_total{reason="publish"}`).Cell(0)
+	s.cInvRevoke = reg.Counter(`pathsrv_cache_invalidations_total{reason="revoke"}`).Cell(0)
+	s.cInvRetire = reg.Counter(`pathsrv_cache_invalidations_total{reason="reinstate"}`).Cell(0)
+	reg.GaugeFunc("pathsrv_epoch", func() float64 { return float64(s.epoch) })
+	reg.GaugeFunc("pathsrv_revoked_links", func() float64 { return float64(len(s.revoked)) })
+	reg.GaugeFunc("pathsrv_snapshot_pairs", func() float64 {
+		total := 0
+		for i := range s.snaps {
+			total += len(s.snaps[i].Load().pairs)
+		}
+		return float64(total)
+	})
+}
+
+// NumShards returns the destination shard count.
+func (s *Service) NumShards() int { return int(s.nshards) }
+
+// Epoch returns the current publication epoch (writer context).
+func (s *Service) Epoch() uint64 { return s.epoch }
+
+// ShardOf maps a destination IA to its shard, a pure function usable
+// from any context.
+func (s *Service) ShardOf(dst addr.IA) uint32 {
+	// splitmix64 finalizer: IAs are near-sequential, so mix hard before
+	// reducing to avoid systematically imbalanced shards.
+	x := dst.Uint64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x % uint64(s.nshards))
+}
+
+// trace emits a service lifecycle event (writer/serial context only).
+func (s *Service) trace(kind telemetry.EventKind, actor, subject, aux uint64, reason string) {
+	if s.clock == nil {
+		return
+	}
+	s.clock.Trace(sim.SerialShard, telemetry.Event{
+		Kind: kind, Actor: actor, Subject: subject, Aux: aux, Reason: reason,
+	})
+}
+
+// DetachClock disconnects the simulator (and thereby trace emission) —
+// call before driving the writer side from a non-simulator goroutine,
+// e.g. the churn writer of a wall-clock read benchmark.
+func (s *Service) DetachClock() { s.clock = nil }
+
+// Register records a path segment under (origin, leaf): subsequent
+// lookups for that pair will serve it after the next publication.
+// Re-registering a known path refreshes its expiry in place. Writer
+// context only.
+func (s *Service) Register(now sim.Time, p *seg.PCB) error {
+	if p.Expired(now) {
+		s.Rejected++
+		return fmt.Errorf("pathsrv: registering expired segment %v", p)
+	}
+	key := pairKey{src: p.Origin(), dst: p.Leaf()}
+	if key.src == key.dst {
+		s.Rejected++
+		return fmt.Errorf("pathsrv: degenerate segment %v", p)
+	}
+	sh := s.ShardOf(key.dst)
+	list, mutated, fresh := upsert(s.master[sh][key], p)
+	if !mutated {
+		return nil
+	}
+	s.master[sh][key] = list
+	s.dirty |= 1 << sh
+	if fresh {
+		s.Registrations++
+		s.cReg.Inc()
+		mask := uint64(1) << sh
+		for _, lk := range p.Links() {
+			s.linkShards[lk] |= mask
+		}
+	} else {
+		s.Refreshes++
+		s.cRefresh.Inc()
+	}
+	return nil
+}
+
+// upsert inserts p into a (NumHops, HopsKey)-ordered list or refreshes
+// the matching path's expiry in place. It reports whether the list
+// changed at all and whether p was a previously unknown path.
+func upsert(list []*seg.PCB, p *seg.PCB) (out []*seg.PCB, mutated, fresh bool) {
+	key := p.HopsKey()
+	for i, old := range list {
+		if old.HopsKey() == key {
+			if p.Info.Expiry > old.Info.Expiry {
+				list[i] = p
+				return list, true, false
+			}
+			return list, false, false
+		}
+	}
+	i := sort.Search(len(list), func(i int) bool { return !segLess(list[i], p) })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	return list, true, true
+}
+
+// segLess is the canonical reply order (matches pathdb): fewest hops
+// first, then by hops key.
+func segLess(a, b *seg.PCB) bool {
+	if a.NumHops() != b.NumHops() {
+		return a.NumHops() < b.NumHops()
+	}
+	return a.HopsKey() < b.HopsKey()
+}
+
+// Lookup answers a (src, dst) path query from the current snapshot —
+// safe from any number of concurrent readers. It returns the reply
+// segments (read-only, shared with the snapshot) and the earliest
+// expiry among them: before that instant the exact same reply would be
+// served again, which is what caches key their freshness on.
+func (s *Service) Lookup(now sim.Time, src, dst addr.IA) ([]*seg.PCB, sim.Time) {
+	snap := s.snaps[s.ShardOf(dst)].Load()
+	e, ok := snap.pairs[pairKey{src: src, dst: dst}]
+	if !ok {
+		return nil, 0
+	}
+	if now < e.minExpiry {
+		return e.segs, e.minExpiry
+	}
+	// Some segment expired since publication: filter a copy.
+	var out []*seg.PCB
+	min := sim.Time(0)
+	for _, p := range e.segs {
+		if p.Expired(now) {
+			continue
+		}
+		if min == 0 || p.Info.Expiry < min {
+			min = p.Info.Expiry
+		}
+		out = append(out, p)
+	}
+	return out, min
+}
+
+// RevokeLink hides every stored segment traversing link until the
+// revocation lapses (now+ttl; ttl <= 0 uses the configured default) or
+// the link is explicitly reinstated. Affected shards are republished
+// immediately — revocation freshness does not wait for the next batch
+// publication — and caches holding affected pairs are invalidated.
+// Returns the number of pairs whose reply changed. Writer context only.
+func (s *Service) RevokeLink(now sim.Time, link seg.LinkKey, ttl sim.Time) int {
+	if ttl <= 0 {
+		ttl = s.revTTL
+	}
+	exp := now + ttl
+	if cur, ok := s.revoked[link]; !ok || exp > cur {
+		s.revoked[link] = exp
+	}
+	s.Revocations++
+	s.cRev.Inc()
+	s.trace(telemetry.PathRevoked, link.IA.Uint64(), uint64(link.If), 0, "serve")
+	mask := s.linkShards[link]
+	if mask == 0 {
+		return 0
+	}
+	s.dirty |= mask
+	return s.publish(now, "revoke", s.cInvRevoke)
+}
+
+// ReinstateLink lifts a revocation early (the link healed) and
+// republishes the affected shards. Writer context only.
+func (s *Service) ReinstateLink(now sim.Time, link seg.LinkKey) int {
+	if _, ok := s.revoked[link]; !ok {
+		return 0
+	}
+	delete(s.revoked, link)
+	s.Reinstatements++
+	s.cRein.Inc()
+	s.trace(telemetry.PathReinstated, link.IA.Uint64(), uint64(link.If), 0, "serve")
+	mask := s.linkShards[link]
+	if mask == 0 {
+		return 0
+	}
+	s.dirty |= mask
+	return s.publish(now, "reinstate", s.cInvRetire)
+}
+
+// Publish applies the accumulated registration batch (and any lapsed
+// revocations) by rebuilding every dirty shard and swapping its
+// snapshot. A no-op when nothing changed. Writer context only.
+func (s *Service) Publish(now sim.Time) int {
+	s.expireRevocations(now)
+	// Shards whose published snapshot now contains dead segments need a
+	// pruning rebuild even without new registrations.
+	for sh := uint32(0); sh < s.nshards; sh++ {
+		if snap := s.snaps[sh].Load(); snap.minExpiry > 0 && now >= snap.minExpiry {
+			s.dirty |= 1 << sh
+		}
+	}
+	if s.dirty == 0 {
+		return 0
+	}
+	return s.publish(now, "publish", s.cInvPublish)
+}
+
+// expireRevocations lifts revocations whose TTL passed, in sorted link
+// order so trace output is deterministic.
+func (s *Service) expireRevocations(now sim.Time) {
+	var lapsed []seg.LinkKey
+	for lk, exp := range s.revoked {
+		if now >= exp {
+			lapsed = append(lapsed, lk)
+		}
+	}
+	if len(lapsed) == 0 {
+		return
+	}
+	sort.Slice(lapsed, func(i, j int) bool {
+		if lapsed[i].IA != lapsed[j].IA {
+			return lapsed[i].IA.Less(lapsed[j].IA)
+		}
+		return lapsed[i].If < lapsed[j].If
+	})
+	for _, lk := range lapsed {
+		delete(s.revoked, lk)
+		s.Reinstatements++
+		s.cRein.Inc()
+		s.dirty |= s.linkShards[lk]
+		s.trace(telemetry.PathReinstated, lk.IA.Uint64(), uint64(lk.If), 0, "lapse")
+	}
+}
+
+// publish rebuilds the dirty shards, swaps their snapshots under a new
+// epoch, and invalidates cached pairs whose reply changed.
+func (s *Service) publish(now sim.Time, reason string, invCell *telemetry.Cell) int {
+	s.epoch++
+	s.Publishes++
+	s.cPub.Inc()
+	var changed []pairKey
+	for sh := uint32(0); sh < s.nshards; sh++ {
+		if s.dirty&(1<<sh) == 0 {
+			continue
+		}
+		changed = s.rebuild(sh, now, changed)
+		s.PublishedShards++
+		s.trace(telemetry.SnapshotPublished, uint64(sh), s.epoch,
+			uint64(len(s.snaps[sh].Load().pairs)), reason)
+	}
+	s.dirty = 0
+	if len(changed) > 0 {
+		s.invalidate(changed, invCell)
+	}
+	return len(changed)
+}
+
+// rebuild constructs shard sh's new snapshot from the master copy,
+// dropping expired segments for good and hiding revoked ones, and
+// appends every pair whose visible path set changed to changed.
+func (s *Service) rebuild(sh uint32, now sim.Time, changed []pairKey) []pairKey {
+	old := s.snaps[sh].Load()
+	master := s.master[sh]
+	pairs := make(map[pairKey]pairEntry, len(master))
+	var shardMin sim.Time
+	for key, list := range master {
+		// Prune expired segments from the master copy in place; they can
+		// never come back.
+		live := list[:0]
+		for _, p := range list {
+			if !p.Expired(now) {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(master, key)
+			if _, had := old.pairs[key]; had {
+				changed = append(changed, key)
+			}
+			continue
+		}
+		s.master[sh][key] = live
+
+		// The snapshot must own its slice: master backing arrays are
+		// mutated in place by later upserts and prunes while old
+		// snapshots may still be read concurrently.
+		visible := make([]*seg.PCB, 0, len(live))
+		for _, p := range live {
+			if len(s.revoked) > 0 && segmentRevoked(p, s.revoked) {
+				continue
+			}
+			visible = append(visible, p)
+		}
+		if len(visible) == 0 {
+			if _, had := old.pairs[key]; had {
+				changed = append(changed, key)
+			}
+			continue
+		}
+		min := visible[0].Info.Expiry
+		for _, p := range visible[1:] {
+			if p.Info.Expiry < min {
+				min = p.Info.Expiry
+			}
+		}
+		pairs[key] = pairEntry{segs: visible, minExpiry: min}
+		if shardMin == 0 || min < shardMin {
+			shardMin = min
+		}
+		if !samePathSet(old.pairs[key].segs, visible) {
+			changed = append(changed, key)
+		}
+	}
+	// Pairs present before but gone from master entirely (already pruned
+	// in an earlier rebuild) were handled above; install the new epoch.
+	s.snaps[sh].Store(&snapshot{epoch: s.epoch, pairs: pairs, minExpiry: shardMin})
+	return changed
+}
+
+func segmentRevoked(p *seg.PCB, revoked map[seg.LinkKey]sim.Time) bool {
+	for _, lk := range p.Links() {
+		if _, ok := revoked[lk]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// samePathSet reports whether two canonical-ordered replies describe the
+// same set of paths (expiry refreshes do not count as a change: a cached
+// older reply remains correct until its own segments expire).
+func samePathSet(a, b []*seg.PCB) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && a[i].HopsKey() != b[i].HopsKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// invalidate evicts the changed pairs from every registered cache, in
+// cache registration order.
+func (s *Service) invalidate(pairs []pairKey, cell *telemetry.Cell) {
+	for _, c := range s.caches {
+		for _, k := range pairs {
+			if _, ok := c.entries[k]; ok {
+				delete(c.entries, k)
+				c.Invalidations++
+				s.Invalidations++
+				cell.Inc()
+			}
+		}
+	}
+}
+
+// Digest hashes the full serving state — every shard's snapshot in
+// canonical order, plus active revocations — extending the repo's
+// fingerprint guarantee to the serving layer. Writer context only.
+func (s *Service) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	for sh := uint32(0); sh < s.nshards; sh++ {
+		snap := s.snaps[sh].Load()
+		w64(uint64(sh))
+		w64(snap.epoch)
+		keys := make([]pairKey, 0, len(snap.pairs))
+		for k := range snap.pairs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].dst != keys[j].dst {
+				return keys[i].dst.Less(keys[j].dst)
+			}
+			return keys[i].src.Less(keys[j].src)
+		})
+		for _, k := range keys {
+			e := snap.pairs[k]
+			w64(k.src.Uint64())
+			w64(k.dst.Uint64())
+			w64(uint64(e.minExpiry))
+			w64(uint64(len(e.segs)))
+			for _, p := range e.segs {
+				w64(uint64(p.Info.Expiry))
+				h.Write([]byte(p.HopsKey()))
+			}
+		}
+	}
+	revs := make([]seg.LinkKey, 0, len(s.revoked))
+	for lk := range s.revoked {
+		revs = append(revs, lk)
+	}
+	sort.Slice(revs, func(i, j int) bool {
+		if revs[i].IA != revs[j].IA {
+			return revs[i].IA.Less(revs[j].IA)
+		}
+		return revs[i].If < revs[j].If
+	})
+	for _, lk := range revs {
+		w64(lk.IA.Uint64())
+		w64(uint64(lk.If))
+		w64(uint64(s.revoked[lk]))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

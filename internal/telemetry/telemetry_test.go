@@ -264,3 +264,47 @@ func TestServe(t *testing.T) {
 		t.Fatalf("/metrics.json = %q", body)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+	r := NewRegistry()
+	h := r.Histogram("q_test", []float64{10, 100, 1000})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// 90 samples in (10,100], 10 in (100,1000]: p50 interpolates inside
+	// the second bucket, p99 inside the third.
+	for i := 0; i < 90; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 10 || p50 > 100 {
+		t.Errorf("p50 = %v, want in (10,100]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 100 || p99 > 1000 {
+		t.Errorf("p99 = %v, want in (100,1000]", p99)
+	}
+	if got := h.Quantile(-1); got > 10 {
+		t.Errorf("q<0 clamps to min, got %v", got)
+	}
+	// Mass in the +Inf bucket clamps to the top finite bound.
+	inf := r.Histogram("q_inf", []float64{1})
+	inf.Observe(99)
+	if got := inf.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf mass quantile = %v, want clamp to 1", got)
+	}
+	// Sharded observation: quantiles merge cells like every other read.
+	sh := r.Histogram("q_shard", []float64{1, 2, 4})
+	sh.Cell(1).Observe(1.5)
+	sh.Cell(2).Observe(3)
+	if q := sh.Quantile(1); q <= 2 || q > 4 {
+		t.Errorf("merged quantile = %v, want in (2,4]", q)
+	}
+}

@@ -25,6 +25,10 @@ const (
 	// Chaos faults. Reason carries the fault kind (flap | gray | ...).
 	FaultApplied
 	FaultHealed
+	// Path-serving layer: one immutable shard snapshot published (Actor:
+	// shard, Subject: epoch, Aux: pair count; Reason: publish | revoke |
+	// reinstate).
+	SnapshotPublished
 
 	numEventKinds
 )
@@ -40,6 +44,7 @@ var kindNames = [numEventKinds]string{
 	"flow_switch",
 	"fault_applied",
 	"fault_healed",
+	"snapshot_published",
 }
 
 func (k EventKind) String() string {

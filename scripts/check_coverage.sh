@@ -12,6 +12,7 @@
 floors='
 scionmpr/cmd/beaconsim 26
 scionmpr/cmd/chaossim 56
+scionmpr/cmd/pathserve 51
 scionmpr/cmd/topogen 25
 scionmpr/cmd/trafficsim 46
 scionmpr/internal/addr 92
@@ -26,7 +27,8 @@ scionmpr/internal/deploy 91
 scionmpr/internal/experiments 85
 scionmpr/internal/graphalg 97
 scionmpr/internal/metrics 95
-scionmpr/internal/pathdb 65
+scionmpr/internal/pathdb 83
+scionmpr/internal/pathsrv 87
 scionmpr/internal/seg 94
 scionmpr/internal/sig 93
 scionmpr/internal/sim 84
