@@ -14,6 +14,10 @@
 //	serve       extra: path-lookup serving layer under closed-loop load
 //	            (Zipf destinations, epoch snapshots, chaos revocations);
 //	            see also cmd/pathserve for the million-endpoint run
+//	failover    extra: crash-recoverable replicated path-server fleet —
+//	            availability and lookup cost under a rolling crash storm
+//	            plus a full blackout (WAL recovery, anti-entropy, client
+//	            failover with serve-stale), diversity vs baseline
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -41,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | scionlab | convergence | ablation | gridsearch | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | failover | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr  = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration  = flag.Duration("duration", 0, "override beaconing duration")
 		pairs     = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -190,6 +194,16 @@ func main() {
 	if want("serve") {
 		runOne("serve", func() error {
 			res, err := experiments.RunServe(scale, experiments.DefaultServeConfig())
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("failover") {
+		runOne("failover", func() error {
+			res, err := experiments.RunFailover(scale, experiments.DefaultFailoverConfig())
 			if err != nil {
 				return err
 			}

@@ -14,6 +14,17 @@
 //	pathserve -scale smoke -workers 4        # CI-sized, parallel
 //	pathserve -bench -benchreaders 8         # plus a wall-clock read bench
 //	pathserve -trace events.jsonl -snapshot metrics.txt
+//
+// With -replicas N (N > 0) the single service becomes a crash-
+// recoverable fleet of N write-ahead-logged replicas under a rolling
+// crash storm plus a full blackout: clients fail over between replicas
+// with backoff and serve stale cache entries when the whole fleet is
+// dark, crashed replicas recover via checkpoint + WAL replay, and an
+// anti-entropy sweep reconverges them (see RESILIENCE.md). -bench then
+// reports wall-clock WAL recovery cost instead of the read benchmark.
+//
+//	pathserve -replicas 3 -endpoints 200000 -duration 8s
+//	pathserve -replicas 3 -bench             # plus a recovery bench
 package main
 
 import (
@@ -43,6 +54,12 @@ type config struct {
 	seed      int64
 	workers   int
 
+	replicas    int
+	ckptEvery   uint64
+	syncEvery   time.Duration
+	crashDown   time.Duration
+	crashPeriod time.Duration
+
 	bench        bool
 	benchReaders int
 	benchOps     int
@@ -65,6 +82,11 @@ func main() {
 	flag.DurationVar(&cfg.cacheTTL, "cachettl", 2*time.Second, "client reply-cache TTL (0 disables caching)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for topology, chaos schedule and client randomness")
 	flag.IntVar(&cfg.workers, "workers", 0, "simulator workers: 1 sequential, 0 default; output is identical for every setting")
+	flag.IntVar(&cfg.replicas, "replicas", 0, "replicated fleet size; > 0 runs the crash-recovery failover experiment instead of the single-service run")
+	flag.Uint64Var(&cfg.ckptEvery, "ckptevery", 192, "WAL records between checkpoints (with -replicas)")
+	flag.DurationVar(&cfg.syncEvery, "syncevery", 500*time.Millisecond, "anti-entropy sweep period (with -replicas)")
+	flag.DurationVar(&cfg.crashDown, "crashdown", time.Second, "per-replica outage length in the crash storm (with -replicas)")
+	flag.DurationVar(&cfg.crashPeriod, "crashperiod", 2700*time.Millisecond, "per-replica crash period in the storm (with -replicas)")
 	flag.BoolVar(&cfg.bench, "bench", false, "after the run, wall-clock benchmark concurrent reads on the populated service (volatile numbers, printed to stderr)")
 	flag.IntVar(&cfg.benchReaders, "benchreaders", 4, "reader goroutines for -bench")
 	flag.IntVar(&cfg.benchOps, "benchops", 200_000, "lookups per reader for -bench")
@@ -115,6 +137,10 @@ func run(w io.Writer, cfg config) error {
 	sc.ZipfS = cfg.zipf
 	sc.CacheTTL = cfg.cacheTTL
 
+	if cfg.replicas > 0 {
+		return runFleet(w, cfg, scale, sc)
+	}
+
 	res, err := experiments.RunServe(scale, sc)
 	if err != nil {
 		return err
@@ -152,6 +178,52 @@ func run(w io.Writer, cfg config) error {
 			Now:      sim.Time(cfg.duration),
 		})
 		fmt.Fprintf(os.Stderr, "read bench (wall-clock, volatile): ")
+		bres.Print(os.Stderr)
+	}
+	return nil
+}
+
+// runFleet runs the crash-recoverable replicated fleet variant behind
+// -replicas N. The fingerprint covers both selector runs.
+func runFleet(w io.Writer, cfg config, scale experiments.Scale, sc experiments.ServeConfig) error {
+	fc := experiments.DefaultFailoverConfig()
+	fc.ServeConfig = sc
+	fc.Replicas = cfg.replicas
+	fc.CheckpointEvery = cfg.ckptEvery
+	fc.SyncInterval = cfg.syncEvery
+	fc.CrashDown = cfg.crashDown
+	fc.CrashPeriod = cfg.crashPeriod
+
+	res, err := experiments.RunFailover(scale, fc)
+	if err != nil {
+		return err
+	}
+	fp := res.Fingerprint()
+	if cfg.traceOut != "" {
+		if err := os.WriteFile(cfg.traceOut, []byte(res.Runs[0].TraceJSONL), 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.snapOut != "" {
+		if err := os.WriteFile(cfg.snapOut, []byte(res.Runs[0].Snapshot), 0o644); err != nil {
+			return err
+		}
+	}
+	res.Print(w)
+	fmt.Fprintf(w, "\nfingerprint: %s\n", hex.EncodeToString(fp[:]))
+	for _, run := range res.Runs {
+		fmt.Fprintf(os.Stderr, "wall: %v for %d events (%s)\n",
+			run.Elapsed.Round(time.Millisecond), run.Executed, run.Name)
+	}
+	if cfg.bench {
+		// Recovery bench: rebuild replica 0 of the diversity run from its
+		// final WAL image (checkpoint + tail replay), wall-clocked.
+		rep := res.Runs[0].Fleet.Replica(0)
+		bres := pathsrv.RecoveryBench(rep.WAL(), pathsrv.Config{
+			Shards:        sc.Shards,
+			RevocationTTL: sim.Time(sc.RevTTL),
+		}, 5)
+		fmt.Fprintf(os.Stderr, "recovery bench (wall-clock, volatile): ")
 		bres.Print(os.Stderr)
 	}
 	return nil

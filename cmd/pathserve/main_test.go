@@ -117,6 +117,52 @@ func TestRunBench(t *testing.T) {
 	}
 }
 
+// TestRunFleetMode drives the -replicas path end to end: both selector
+// variants under the crash storm, the convergence check, artifacts and
+// the recovery benchmark.
+func TestRunFleetMode(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smokeCfg()
+	cfg.replicas = 3
+	cfg.ckptEvery = 96
+	cfg.syncEvery = 400 * time.Millisecond
+	cfg.crashDown = 500 * time.Millisecond
+	cfg.crashPeriod = 1300 * time.Millisecond
+	cfg.bench = true
+	cfg.traceOut = filepath.Join(dir, "trace.jsonl")
+	cfg.snapOut = filepath.Join(dir, "snapshot.txt")
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fingerprint: ", "crashes / recoveries", "replicas converged", "true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q", want)
+		}
+	}
+	tr, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replica_crashed", "replica_recovered", "antientropy_pull"} {
+		if !bytes.Contains(tr, []byte(want)) {
+			t.Errorf("trace file has no %s events", want)
+		}
+	}
+	snap, err := os.ReadFile(cfg.snapOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pathsrv_replica_crashes_total", "pathsrv_client_stale_serves_total"} {
+		if !bytes.Contains(snap, []byte(want)) {
+			t.Errorf("snapshot file missing %s", want)
+		}
+	}
+}
+
 func TestRunRejectsBadScale(t *testing.T) {
 	cfg := smokeCfg()
 	cfg.scale = "galactic"

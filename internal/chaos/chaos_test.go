@@ -127,6 +127,72 @@ func TestOverlappingFlapsDepthCounted(t *testing.T) {
 	}
 }
 
+func TestOverlappingCrashesHealExactlyOnce(t *testing.T) {
+	s := &sim.Simulator{}
+	rec := newRecorder(s)
+	e := NewEngine(s)
+	e.AddCrashTarget(rec)
+	ia := addr.MustIA(1, 0xff00_0000_0110)
+	// Two overlapping outages on the same AS: [1s,5s) and [2s,3s) —
+	// exactly the shape a rolling crash storm plus a blackout produces.
+	// The inner restart at 3s must NOT bring the process back (crash
+	// depth 2), and the whole overlap must yield one crash/restart pair.
+	sched := &Schedule{End: sim.Time(10 * time.Second), Events: []Event{
+		{Kind: CrashAS, IA: ia, At: sim.Time(time.Second), Down: 4 * time.Second},
+		{Kind: CrashAS, IA: ia, At: sim.Time(2 * time.Second), Down: time.Second},
+	}}
+	if err := e.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	s.At(sim.Time(4*time.Second), func() {
+		if !rec.downAS[ia] {
+			t.Error("AS must still be down at t=4s (outer crash active)")
+		}
+	})
+	s.Run()
+	if got := e.Injections[CrashAS]; got != 2 {
+		t.Errorf("crash injections = %d, want 2", got)
+	}
+	want := []string{"1s crash", "5s restart"}
+	if len(rec.log) != 2 || rec.log[0] != want[0] || rec.log[1] != want[1] {
+		t.Errorf("log = %v, want %v (heal exactly once)", rec.log, want)
+	}
+	if rec.downAS[ia] {
+		t.Error("AS must end restarted")
+	}
+}
+
+func TestCrashStormStaggeredAndBounded(t *testing.T) {
+	ias := []addr.IA{
+		addr.MustIA(60000, 1), addr.MustIA(60000, 2), addr.MustIA(60000, 3),
+	}
+	start, end := sim.Time(2*time.Second), sim.Time(10*time.Second)
+	a := CrashStorm(5, ias, start, end, time.Second, 3*time.Second)
+	b := CrashStorm(5, ias, start, end, time.Second, 3*time.Second)
+	if a.String() != b.String() {
+		t.Fatal("CrashStorm not deterministic for same inputs")
+	}
+	if len(a.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(a.Events))
+	}
+	seen := map[sim.Time]bool{}
+	for _, ev := range a.Events {
+		if ev.Kind != CrashAS {
+			t.Fatalf("event kind = %v", ev.Kind)
+		}
+		if seen[ev.At] {
+			t.Errorf("two crashes start at %v; phases must be staggered", ev.At)
+		}
+		seen[ev.At] = true
+		if ev.At < start {
+			t.Errorf("crash at %v before storm start", ev.At)
+		}
+		if ev.Until != end-sim.Time(time.Second) {
+			t.Errorf("Until = %v, want %v", ev.Until, end-sim.Time(time.Second))
+		}
+	}
+}
+
 func TestGrayAndSpikeStacking(t *testing.T) {
 	s := &sim.Simulator{}
 	rec := newRecorder(s)
@@ -305,6 +371,11 @@ crash ` + l.A.String() + ` at 5s down 3s
 		"end 10s\nflap 1 at 1s down",           // dangling arg
 		"flap 1 at 1s down 1s",                 // missing end
 		"end 10s\nflap 9999 at 1s down 1s",     // unknown link id
+		"end 10s\ncrash",                       // crash without a target
+		"end 10s\ncrash notania at 1s down 1s", // garbage AS
+		"end 10s\ncrash 1>2 at 1s down 1s",     // link syntax on a crash
+		"end 10s\ncrash 1-10 at 1s down x",     // bad duration
+		"end 10s\ncrash 1-10 at 1s halt 1s",    // unknown argument
 	} {
 		if _, err := ParseSchedule(strings.NewReader(bad), g); err == nil {
 			t.Errorf("ParseSchedule(%q) did not fail", bad)

@@ -12,6 +12,9 @@ type centry struct {
 	// minExpiry is the earliest segment expiry: past it the reply may
 	// contain dead paths regardless of the cache TTL.
 	minExpiry sim.Time
+	// maxExpiry is the latest segment expiry: past it every cached path
+	// is dead and the entry is useless even as a stale answer.
+	maxExpiry sim.Time
 	// expires is the TTL deadline of the cache entry itself.
 	expires sim.Time
 }
@@ -27,8 +30,16 @@ type Cache struct {
 	entries map[pairKey]centry
 	ttl     sim.Time
 	cap     int
+	// nextDead is the earliest maxExpiry among cached entries (0 when
+	// none): the first instant a sweep could reclaim anything. Misses
+	// past it trigger a sweep, so a long-idle cache does not pin dead
+	// []*seg.PCB slices indefinitely.
+	nextDead sim.Time
 
 	Hits, Misses, Evictions, Invalidations uint64
+	// Sweeps counts dead-entry sweep passes; StaleHits counts replies
+	// served past their TTL by LookupStale.
+	Sweeps, StaleHits uint64
 }
 
 // NewCache creates a cache registered with the service for precise
@@ -62,26 +73,109 @@ func (c *Cache) Lookup(now sim.Time, svc *Service, src, dst addr.IA) ([]*seg.PCB
 		c.Evictions++
 	}
 	c.Misses++
+	c.maybeSweep(now)
 	segs, minExpiry := svc.Lookup(now, src, dst)
 	if len(segs) == 0 {
 		// Negative replies are not cached: the pair may be populated by
 		// the very next publication and a cached miss would hide it.
 		return nil, false
 	}
+	c.store(now, key, segs, minExpiry)
+	return segs, false
+}
+
+// probe answers from the cache when fresh without evicting on a stale
+// entry — fleet clients keep stale entries around as the serve-stale
+// reserve for total outages. Counts a hit or a miss either way.
+func (c *Cache) probe(now sim.Time, key pairKey) ([]*seg.PCB, bool) {
+	if e, ok := c.entries[key]; ok && now < e.expires && now < e.minExpiry {
+		c.Hits++
+		return e.segs, true
+	}
+	c.Misses++
+	c.maybeSweep(now)
+	return nil, false
+}
+
+// store caches a non-empty reply under the freshness deadline
+// min(now+ttl, minExpiry).
+func (c *Cache) store(now sim.Time, key pairKey, segs []*seg.PCB, minExpiry sim.Time) {
+	if len(segs) == 0 {
+		return
+	}
 	exp := minExpiry
 	if c.ttl > 0 && now+c.ttl < exp {
 		exp = now + c.ttl
 	}
-	if c.cap > 0 && len(c.entries) >= c.cap {
+	if _, ok := c.entries[key]; !ok && c.cap > 0 && len(c.entries) >= c.cap {
 		// Deterministic pressure valve: map iteration order is not
 		// reproducible, so shed everything rather than a random victim.
 		for k := range c.entries {
 			delete(c.entries, k)
 		}
 		c.Evictions += uint64(c.cap)
+		c.nextDead = 0
 	}
-	c.entries[key] = centry{segs: segs, minExpiry: minExpiry, expires: exp}
-	return segs, false
+	maxExpiry := segs[0].Info.Expiry
+	for _, p := range segs[1:] {
+		if p.Info.Expiry > maxExpiry {
+			maxExpiry = p.Info.Expiry
+		}
+	}
+	c.entries[key] = centry{segs: segs, minExpiry: minExpiry, maxExpiry: maxExpiry, expires: exp}
+	if c.nextDead == 0 || maxExpiry < c.nextDead {
+		c.nextDead = maxExpiry
+	}
+}
+
+// LookupStale serves whatever unexpired segments a cached entry still
+// holds, TTL notwithstanding — the graceful-degradation path when every
+// replica is unreachable. The entry is kept (it may be served again
+// until its last segment dies or a real reply replaces it). Returns nil
+// when nothing servable is cached.
+func (c *Cache) LookupStale(now sim.Time, src, dst addr.IA) []*seg.PCB {
+	e, ok := c.entries[pairKey{src: src, dst: dst}]
+	if !ok {
+		return nil
+	}
+	if now < e.minExpiry {
+		c.StaleHits++
+		return e.segs
+	}
+	var out []*seg.PCB
+	for _, p := range e.segs {
+		if !p.Expired(now) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	c.StaleHits++
+	return out
+}
+
+// maybeSweep drops every entry whose last segment has expired, once the
+// earliest such deadline passes. Deletion order does not matter (map
+// deletes commute and only totals are counted), so the sweep is
+// deterministic.
+func (c *Cache) maybeSweep(now sim.Time) {
+	if c.nextDead == 0 || now < c.nextDead {
+		return
+	}
+	c.Sweeps++
+	var next sim.Time
+	for k, e := range c.entries {
+		if now >= e.maxExpiry {
+			delete(c.entries, k)
+			c.Evictions++
+			continue
+		}
+		if next == 0 || e.maxExpiry < next {
+			next = e.maxExpiry
+		}
+	}
+	c.nextDead = next
 }
 
 // Len returns the number of cached pairs.

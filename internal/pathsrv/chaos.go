@@ -44,3 +44,37 @@ func WireChaos(clock *sim.Simulator, eng *chaos.Engine, topo *topology.Graph, sv
 		}
 	}
 }
+
+// WireChaosFleet is WireChaos for a replica fleet: link failures revoke
+// (and healings reinstate) both directed interfaces on every up replica.
+// Crashed replicas miss the events — the journal gap anti-entropy heals.
+func WireChaosFleet(clock *sim.Simulator, eng *chaos.Engine, topo *topology.Graph, fleet *Fleet, ttl sim.Time) {
+	keys := func(id topology.LinkID) (seg.LinkKey, seg.LinkKey, bool) {
+		l := topo.LinkByID(id)
+		if l == nil {
+			return seg.LinkKey{}, seg.LinkKey{}, false
+		}
+		return seg.LinkKey{IA: l.A, If: l.AIf}, seg.LinkKey{IA: l.B, If: l.BIf}, true
+	}
+	prevFail, prevRestore := eng.OnFail, eng.OnRestore
+	eng.OnFail = func(id topology.LinkID) {
+		if prevFail != nil {
+			prevFail(id)
+		}
+		if a, b, ok := keys(id); ok {
+			now := clock.Now()
+			fleet.RevokeLink(now, a, ttl)
+			fleet.RevokeLink(now, b, ttl)
+		}
+	}
+	eng.OnRestore = func(id topology.LinkID) {
+		if prevRestore != nil {
+			prevRestore(id)
+		}
+		if a, b, ok := keys(id); ok {
+			now := clock.Now()
+			fleet.ReinstateLink(now, a)
+			fleet.ReinstateLink(now, b)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 	"sync/atomic"
 
@@ -517,53 +518,110 @@ func (s *Service) invalidate(pairs []pairKey, cell *telemetry.Cell) {
 // fingerprint guarantee to the serving layer. Writer context only.
 func (s *Service) Digest() [sha256.Size]byte {
 	h := sha256.New()
+	for sh := uint32(0); sh < s.nshards; sh++ {
+		s.writeShard(h, sh)
+	}
+	s.writeRevoked(h)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// ShardDigest hashes one shard's published snapshot (epoch included) —
+// the unit of comparison in anti-entropy rounds. Writer context only.
+func (s *Service) ShardDigest(sh uint32) [sha256.Size]byte {
+	h := sha256.New()
+	s.writeShard(h, sh)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// RevocationDigest hashes the active revocation set. Writer context only.
+func (s *Service) RevocationDigest() [sha256.Size]byte {
+	h := sha256.New()
+	s.writeRevoked(h)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// writeShard streams shard sh's snapshot in canonical order into h.
+func (s *Service) writeShard(h io.Writer, sh uint32) {
 	var scratch [8]byte
 	w64 := func(v uint64) {
 		binary.BigEndian.PutUint64(scratch[:], v)
 		h.Write(scratch[:])
 	}
-	for sh := uint32(0); sh < s.nshards; sh++ {
-		snap := s.snaps[sh].Load()
-		w64(uint64(sh))
-		w64(snap.epoch)
-		keys := make([]pairKey, 0, len(snap.pairs))
-		for k := range snap.pairs {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].dst != keys[j].dst {
-				return keys[i].dst.Less(keys[j].dst)
-			}
-			return keys[i].src.Less(keys[j].src)
-		})
-		for _, k := range keys {
-			e := snap.pairs[k]
-			w64(k.src.Uint64())
-			w64(k.dst.Uint64())
-			w64(uint64(e.minExpiry))
-			w64(uint64(len(e.segs)))
-			for _, p := range e.segs {
-				w64(uint64(p.Info.Expiry))
-				h.Write([]byte(p.HopsKey()))
-			}
+	snap := s.snaps[sh].Load()
+	w64(uint64(sh))
+	w64(snap.epoch)
+	keys := sortedPairs(snap.pairs)
+	for _, k := range keys {
+		e := snap.pairs[k]
+		w64(k.src.Uint64())
+		w64(k.dst.Uint64())
+		w64(uint64(e.minExpiry))
+		w64(uint64(len(e.segs)))
+		for _, p := range e.segs {
+			w64(uint64(p.Info.Expiry))
+			h.Write([]byte(p.HopsKey()))
 		}
 	}
-	revs := make([]seg.LinkKey, 0, len(s.revoked))
-	for lk := range s.revoked {
-		revs = append(revs, lk)
+}
+
+// writeRevoked streams the active revocations in canonical order into h.
+func (s *Service) writeRevoked(h io.Writer) {
+	var scratch [8]byte
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
 	}
-	sort.Slice(revs, func(i, j int) bool {
-		if revs[i].IA != revs[j].IA {
-			return revs[i].IA.Less(revs[j].IA)
-		}
-		return revs[i].If < revs[j].If
-	})
-	for _, lk := range revs {
+	for _, lk := range sortedLinks(s.revoked) {
 		w64(lk.IA.Uint64())
 		w64(uint64(lk.If))
 		w64(uint64(s.revoked[lk]))
 	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+}
+
+// sortedPairs returns m's keys in canonical (dst, src) order.
+func sortedPairs[V any](m map[pairKey]V) []pairKey {
+	keys := make([]pairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst.Less(keys[j].dst)
+		}
+		return keys[i].src.Less(keys[j].src)
+	})
+	return keys
+}
+
+// sortedLinks returns m's keys in canonical (IA, If) order.
+func sortedLinks[V any](m map[seg.LinkKey]V) []seg.LinkKey {
+	keys := make([]seg.LinkKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].IA != keys[j].IA {
+			return keys[i].IA.Less(keys[j].IA)
+		}
+		return keys[i].If < keys[j].If
+	})
+	return keys
+}
+
+// AttachClock re-attaches a simulator to a recovered service so trace
+// emission resumes (WAL replay runs clockless to avoid re-emitting the
+// journaled mutations' trace events). Writer context only.
+func (s *Service) AttachClock(clock *sim.Simulator) { s.clock = clock }
+
+// adoptCaches re-registers client caches on a recovered service: the
+// caches survive the crash (they live with the clients), the service
+// they were registered with did not.
+func (s *Service) adoptCaches(cs []*Cache) {
+	s.caches = append(s.caches[:0], cs...)
 }

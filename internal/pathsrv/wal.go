@@ -1,0 +1,484 @@
+package pathsrv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// WAL is a path-server replica's snapshot write-ahead log: every writer
+// mutation (Register, RevokeLink, ReinstateLink, Publish) is journaled
+// as one CRC-framed record before it is applied, and periodic checkpoint
+// records capture the full serving state so recovery is checkpoint-load
+// plus tail replay rather than a full-history replay.
+//
+// # Frame format
+//
+// Each record is length-prefixed and checksummed:
+//
+//	u32  payload length n
+//	u32  CRC-32 (IEEE) of the payload
+//	n bytes payload: kind (u8) | virtual time (u64) | body
+//
+// All integers are big-endian. The body encodings are fixed-width
+// except segments, which reuse the PCB wire codec (seg.Encode/Decode),
+// and checkpoints, which serialize the service state in canonical
+// order — so a WAL's bytes are a pure function of the mutation history.
+//
+// # Recovery semantics
+//
+// Replay scans frames in order, resetting to the most recent checkpoint
+// it encounters and applying every later mutation at its recorded
+// virtual time. A torn tail (crash mid-append) or a corrupt record
+// (CRC mismatch, bogus length, undecodable body) ends the replay at the
+// last good frame: everything before it is recovered, everything at and
+// after it is reported as truncated, and replay never panics on
+// arbitrary input (see FuzzWALReplay).
+//
+// The WAL models the replica's durable disk: in simulation it is an
+// in-memory byte buffer that survives the crash of the Service built
+// over it.
+type WAL struct {
+	buf []byte
+	// Records counts frames appended since creation or the last
+	// checkpoint compaction (the checkpoint frame itself included).
+	Records uint64
+	// Checkpoints counts checkpoint compactions performed.
+	Checkpoints uint64
+}
+
+// NewWAL creates an empty log.
+func NewWAL() *WAL { return &WAL{} }
+
+// Bytes returns the raw log (aliased, not a copy): the "disk image" a
+// recovery reads. Append invalidates it.
+func (w *WAL) Bytes() []byte { return w.buf }
+
+// Len returns the log size in bytes.
+func (w *WAL) Len() int { return len(w.buf) }
+
+// Record kinds.
+const (
+	walRegister   = 1
+	walRevoke     = 2
+	walReinstate  = 3
+	walPublish    = 4
+	walCheckpoint = 5
+)
+
+const walFrameHeader = 8 // u32 length + u32 CRC
+
+// appendFrame frames payload (already kind|time|body) onto the log.
+func (w *WAL) appendFrame(payload []byte) {
+	var hdr [walFrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.Records++
+}
+
+// payloadHead appends the kind and timestamp prefix shared by every
+// record to a scratch buffer.
+func payloadHead(dst []byte, kind byte, now sim.Time) []byte {
+	dst = append(dst, kind)
+	return binary.BigEndian.AppendUint64(dst, uint64(now))
+}
+
+// AppendRegister journals a Register(now, p) mutation.
+func (w *WAL) AppendRegister(now sim.Time, p *seg.PCB) {
+	payload := payloadHead(make([]byte, 0, 9+p.WireLen()), walRegister, now)
+	w.appendFrame(p.AppendEncode(payload))
+}
+
+// AppendRevoke journals a RevokeLink(now, link, ttl) mutation.
+func (w *WAL) AppendRevoke(now sim.Time, link seg.LinkKey, ttl sim.Time) {
+	payload := payloadHead(make([]byte, 0, 9+18), walRevoke, now)
+	payload = binary.BigEndian.AppendUint64(payload, link.IA.Uint64())
+	payload = binary.BigEndian.AppendUint16(payload, uint16(link.If))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(ttl))
+	w.appendFrame(payload)
+}
+
+// AppendReinstate journals a ReinstateLink(now, link) mutation.
+func (w *WAL) AppendReinstate(now sim.Time, link seg.LinkKey) {
+	payload := payloadHead(make([]byte, 0, 9+10), walReinstate, now)
+	payload = binary.BigEndian.AppendUint64(payload, link.IA.Uint64())
+	payload = binary.BigEndian.AppendUint16(payload, uint16(link.If))
+	w.appendFrame(payload)
+}
+
+// AppendPublish journals a Publish(now) batch publication.
+func (w *WAL) AppendPublish(now sim.Time) {
+	w.appendFrame(payloadHead(make([]byte, 0, 9), walPublish, now))
+}
+
+// Checkpoint compacts the log: the entire serving state of svc is
+// serialized as one checkpoint record replacing everything journaled so
+// far, so recovery cost is bounded by the state size plus the mutation
+// tail since the last checkpoint.
+func (w *WAL) Checkpoint(now sim.Time, svc *Service) {
+	payload := payloadHead(make([]byte, 0, 1024), walCheckpoint, now)
+	payload = appendCheckpoint(payload, svc)
+	w.buf = w.buf[:0]
+	w.Records = 0
+	w.appendFrame(payload)
+	w.Checkpoints++
+}
+
+// appendCheckpoint serializes svc's full writer-side and published
+// state in canonical order:
+//
+//	u64 epoch | u32 nshards
+//	per shard:
+//	  u64 snapshot epoch | u64 snapshot minExpiry | u64 dirty bit | u32 npairs
+//	  per pair (sorted by dst, src):
+//	    u64 src | u64 dst | u64 pair minExpiry
+//	    u16 nmaster, per master seg: u32 len | PCB wire bytes
+//	    u16 nvisible, per visible seg: u16 master index, or 0xffff
+//	        followed by u32 len | PCB wire bytes when the snapshot holds
+//	        a segment no longer in the master list (refreshed since the
+//	        shard's last rebuild)
+//	u32 nrevoked, per entry (sorted): u64 IA | u16 If | u64 expiry
+//	u32 nlinks,   per entry (sorted): u64 IA | u16 If | u64 shard mask
+func appendCheckpoint(dst []byte, svc *Service) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, svc.epoch)
+	dst = binary.BigEndian.AppendUint32(dst, svc.nshards)
+	for sh := uint32(0); sh < svc.nshards; sh++ {
+		snap := svc.snaps[sh].Load()
+		dst = binary.BigEndian.AppendUint64(dst, snap.epoch)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(snap.minExpiry))
+		dirty := uint64(0)
+		if svc.dirty&(1<<sh) != 0 {
+			dirty = 1
+		}
+		dst = binary.BigEndian.AppendUint64(dst, dirty)
+
+		// Every snapshot pair key still exists in master (pairs are only
+		// deleted during a rebuild, which also replaces the snapshot), so
+		// the master pair list is the outer structure and snapshot
+		// entries reference into it where the pointers still match.
+		master := svc.master[sh]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(master)))
+		for _, key := range sortedPairs(master) {
+			list := master[key]
+			dst = binary.BigEndian.AppendUint64(dst, key.src.Uint64())
+			dst = binary.BigEndian.AppendUint64(dst, key.dst.Uint64())
+			entry, inSnap := snap.pairs[key]
+			dst = binary.BigEndian.AppendUint64(dst, uint64(entry.minExpiry))
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(list)))
+			for _, p := range list {
+				dst = binary.BigEndian.AppendUint32(dst, uint32(p.WireLen()))
+				dst = p.AppendEncode(dst)
+			}
+			if !inSnap {
+				dst = binary.BigEndian.AppendUint16(dst, 0)
+				continue
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(entry.segs)))
+			for _, p := range entry.segs {
+				idx := -1
+				for i, m := range list {
+					if m == p {
+						idx = i
+						break
+					}
+				}
+				if idx >= 0 {
+					dst = binary.BigEndian.AppendUint16(dst, uint16(idx))
+				} else {
+					dst = binary.BigEndian.AppendUint16(dst, 0xffff)
+					dst = binary.BigEndian.AppendUint32(dst, uint32(p.WireLen()))
+					dst = p.AppendEncode(dst)
+				}
+			}
+		}
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(svc.revoked)))
+	for _, lk := range sortedLinks(svc.revoked) {
+		dst = binary.BigEndian.AppendUint64(dst, lk.IA.Uint64())
+		dst = binary.BigEndian.AppendUint16(dst, uint16(lk.If))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(svc.revoked[lk]))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(svc.linkShards)))
+	for _, lk := range sortedLinks(svc.linkShards) {
+		dst = binary.BigEndian.AppendUint64(dst, lk.IA.Uint64())
+		dst = binary.BigEndian.AppendUint16(dst, uint16(lk.If))
+		dst = binary.BigEndian.AppendUint64(dst, svc.linkShards[lk])
+	}
+	return dst
+}
+
+// RecoverStats reports what a replay consumed and what it discarded.
+type RecoverStats struct {
+	// Records is the number of good frames applied (checkpoints
+	// included); Checkpoints how many of them were checkpoint loads.
+	Records, Checkpoints uint64
+	// TruncatedBytes is the length of the discarded tail: zero for a
+	// clean log, positive when the scan hit a torn or corrupt frame.
+	TruncatedBytes int
+	// Truncated reports whether the tail was discarded.
+	Truncated bool
+}
+
+// Recover rebuilds a Service from a WAL image by loading the last
+// checkpoint and replaying the mutation tail at the recorded virtual
+// times. It follows stop-at-first-bad-frame semantics: a torn or
+// corrupt frame ends the replay with everything before it applied (the
+// durable prefix), never an error or a panic. The returned service has
+// no clock, telemetry, or registered caches — the caller re-attaches
+// them (see Replica.Restart).
+//
+// cfg must carry the same Shards and RevocationTTL the journaling
+// service ran with; Clock and Telemetry are ignored during replay.
+func Recover(data []byte, cfg Config) (*Service, RecoverStats) {
+	cfg.Clock = nil
+	cfg.Telemetry = nil
+	svc := New(cfg)
+	var st RecoverStats
+	off := 0
+	for {
+		if len(data)-off < walFrameHeader {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n < 9 || n > len(data)-off-walFrameHeader {
+			break
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		next, ok := applyRecord(svc, payload, cfg)
+		if !ok {
+			break
+		}
+		svc = next
+		st.Records++
+		if payload[0] == walCheckpoint {
+			st.Checkpoints++
+		}
+		off += walFrameHeader + n
+	}
+	st.TruncatedBytes = len(data) - off
+	st.Truncated = st.TruncatedBytes > 0
+	return svc, st
+}
+
+// applyRecord applies one validated frame payload. For checkpoint
+// records it returns a freshly loaded service; for mutations it applies
+// to svc in place. ok is false when the body does not decode — treated
+// exactly like a CRC failure by Recover.
+func applyRecord(svc *Service, payload []byte, cfg Config) (*Service, bool) {
+	kind := payload[0]
+	now := sim.Time(binary.BigEndian.Uint64(payload[1:9]))
+	body := payload[9:]
+	switch kind {
+	case walRegister:
+		p, err := seg.Decode(body)
+		if err != nil {
+			return svc, false
+		}
+		// Registration errors (expired in flight, degenerate) were
+		// counted and ignored when journaled; replay mirrors that.
+		_ = svc.Register(now, p)
+	case walRevoke:
+		if len(body) != 18 {
+			return svc, false
+		}
+		link := seg.LinkKey{
+			IA: addr.IAFromUint64(binary.BigEndian.Uint64(body[0:8])),
+			If: addr.IfID(binary.BigEndian.Uint16(body[8:10])),
+		}
+		svc.RevokeLink(now, link, sim.Time(binary.BigEndian.Uint64(body[10:18])))
+	case walReinstate:
+		if len(body) != 10 {
+			return svc, false
+		}
+		link := seg.LinkKey{
+			IA: addr.IAFromUint64(binary.BigEndian.Uint64(body[0:8])),
+			If: addr.IfID(binary.BigEndian.Uint16(body[8:10])),
+		}
+		svc.ReinstateLink(now, link)
+	case walPublish:
+		if len(body) != 0 {
+			return svc, false
+		}
+		svc.Publish(now)
+	case walCheckpoint:
+		loaded, err := loadCheckpoint(body, cfg)
+		if err != nil {
+			return svc, false
+		}
+		return loaded, true
+	default:
+		return svc, false
+	}
+	return svc, true
+}
+
+// ckptReader is a bounds-checked big-endian reader for checkpoint
+// bodies; any overrun latches an error instead of panicking.
+type ckptReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("pathsrv: checkpoint truncated at %d", r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *ckptReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *ckptReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *ckptReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *ckptReader) pcb() *seg.PCB {
+	n := int(r.u32())
+	body := r.take(n)
+	if r.err != nil {
+		return nil
+	}
+	p, err := seg.Decode(body)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	return p
+}
+
+// loadCheckpoint rebuilds a Service from a checkpoint body. The
+// decoded state is byte-for-byte the journaled one: master lists,
+// per-shard snapshots with their epochs, revocations, link-shard
+// bookkeeping, the dirty mask and the epoch counter.
+func loadCheckpoint(body []byte, cfg Config) (*Service, error) {
+	r := &ckptReader{b: body}
+	epoch := r.u64()
+	nshards := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nshards == 0 || nshards > 64 {
+		return nil, fmt.Errorf("pathsrv: checkpoint shard count %d", nshards)
+	}
+	cfg.Shards = int(nshards)
+	svc := New(cfg)
+	svc.epoch = epoch
+	for sh := uint32(0); sh < nshards && r.err == nil; sh++ {
+		snapEpoch := r.u64()
+		shardMin := sim.Time(r.u64())
+		if r.u64() != 0 {
+			svc.dirty |= 1 << sh
+		}
+		npairs := int(r.u32())
+		pairs := make(map[pairKey]pairEntry, npairs)
+		for i := 0; i < npairs && r.err == nil; i++ {
+			key := pairKey{
+				src: addr.IAFromUint64(r.u64()),
+				dst: addr.IAFromUint64(r.u64()),
+			}
+			pairMin := sim.Time(r.u64())
+			nmaster := int(r.u16())
+			list := make([]*seg.PCB, 0, nmaster)
+			for j := 0; j < nmaster && r.err == nil; j++ {
+				if p := r.pcb(); p != nil {
+					list = append(list, p)
+				}
+			}
+			if r.err != nil {
+				break
+			}
+			svc.master[sh][key] = list
+			nvis := int(r.u16())
+			if nvis == 0 {
+				continue
+			}
+			visible := make([]*seg.PCB, 0, nvis)
+			for j := 0; j < nvis && r.err == nil; j++ {
+				idx := r.u16()
+				if idx == 0xffff {
+					if p := r.pcb(); p != nil {
+						visible = append(visible, p)
+					}
+					continue
+				}
+				if int(idx) >= len(list) {
+					r.err = fmt.Errorf("pathsrv: checkpoint visible index %d of %d", idx, len(list))
+					break
+				}
+				visible = append(visible, list[idx])
+			}
+			if r.err != nil {
+				break
+			}
+			pairs[key] = pairEntry{segs: visible, minExpiry: pairMin}
+		}
+		if r.err != nil {
+			break
+		}
+		svc.snaps[sh].Store(&snapshot{epoch: snapEpoch, pairs: pairs, minExpiry: shardMin})
+	}
+	nrev := int(r.u32())
+	for i := 0; i < nrev && r.err == nil; i++ {
+		lk := seg.LinkKey{
+			IA: addr.IAFromUint64(r.u64()),
+			If: addr.IfID(r.u16()),
+		}
+		exp := sim.Time(r.u64())
+		if r.err == nil {
+			svc.revoked[lk] = exp
+		}
+	}
+	nlinks := int(r.u32())
+	for i := 0; i < nlinks && r.err == nil; i++ {
+		lk := seg.LinkKey{
+			IA: addr.IAFromUint64(r.u64()),
+			If: addr.IfID(r.u16()),
+		}
+		mask := r.u64()
+		if r.err == nil {
+			svc.linkShards[lk] = mask
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("pathsrv: checkpoint has %d trailing bytes", len(body)-r.off)
+	}
+	return svc, nil
+}

@@ -360,12 +360,23 @@ func (r *Registry) gaugeFunc(name string, volatile bool, fn func() float64) {
 // creating it with the given bucket bounds on first use (later calls
 // ignore bounds).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// VolatileHistogram is Histogram for wall-clock-dependent samples
+// (e.g. WAL replay durations), excluded from the deterministic
+// snapshot.
+func (r *Registry) VolatileHistogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) histogram(name string, bounds []float64, volatile bool) *Histogram {
 	if r == nil {
 		return nil
 	}
 	h := r.histograms[name]
 	if h == nil {
-		h = &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
+		h = &Histogram{name: name, volatile: volatile, bounds: append([]float64(nil), bounds...)}
 		r.histograms[name] = h
 	}
 	return h

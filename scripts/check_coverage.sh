@@ -12,23 +12,23 @@
 floors='
 scionmpr/cmd/beaconsim 26
 scionmpr/cmd/chaossim 56
-scionmpr/cmd/pathserve 51
+scionmpr/cmd/pathserve 59
 scionmpr/cmd/topogen 25
 scionmpr/cmd/trafficsim 46
 scionmpr/internal/addr 92
 scionmpr/internal/beacon 90
 scionmpr/internal/bgp 87
 scionmpr/internal/bgpsec 88
-scionmpr/internal/chaos 83
+scionmpr/internal/chaos 86
 scionmpr/internal/combinator 89
 scionmpr/internal/core 90
 scionmpr/internal/dataplane 67
 scionmpr/internal/deploy 91
-scionmpr/internal/experiments 85
+scionmpr/internal/experiments 87
 scionmpr/internal/graphalg 97
 scionmpr/internal/metrics 95
 scionmpr/internal/pathdb 83
-scionmpr/internal/pathsrv 87
+scionmpr/internal/pathsrv 91
 scionmpr/internal/seg 94
 scionmpr/internal/sig 93
 scionmpr/internal/sim 84
