@@ -8,6 +8,16 @@
 //	beaconsim -topo scionlab -algo baseline -store 5 -duration 6h
 //	beaconsim -topo gen -n 600 -core 100 -algo diversity -store 60
 //	beaconsim -topo gen -n 600 -isdcores 5 -mode intra -algo baseline
+//
+// Long runs can be checkpointed and resumed (the resumed run finishes
+// with byte-identical results; see DESIGN.md "Checkpoint/restore"):
+//
+//	beaconsim -topo gen -n 2000 -checkpoint 3h -snapshot run.ckpt
+//	beaconsim -topo gen -n 2000 -resume run.ckpt
+//
+// Every other flag must match between the checkpointing and the
+// resuming invocation — the snapshot holds the simulation state, not
+// the configuration.
 package main
 
 import (
@@ -41,6 +51,9 @@ func main() {
 		lifetime = flag.Duration("lifetime", 6*time.Hour, "PCB lifetime")
 		verify   = flag.Bool("verify", false, "cryptographically verify every received PCB")
 		pairs    = flag.Int("pairs", 40, "AS pairs sampled for path quality")
+		ckptAt   = flag.Duration("checkpoint", 0, "write a resumable snapshot at this simulated time (rounded up to an interval boundary)")
+		snapFile = flag.String("snapshot", "beaconsim.ckpt", "snapshot file written by -checkpoint")
+		resume   = flag.String("resume", "", "resume from a snapshot file instead of starting fresh (all other flags must match the checkpointing run)")
 	)
 	flag.Parse()
 
@@ -71,7 +84,29 @@ func main() {
 	cfg.Verify = *verify
 
 	start := time.Now()
-	res, err := beacon.Run(cfg)
+	var res *beacon.RunResult
+	switch {
+	case *resume != "":
+		snap, rerr := os.ReadFile(*resume)
+		if rerr != nil {
+			fail(rerr)
+		}
+		res, err = beacon.Resume(cfg, snap)
+		if err == nil {
+			fmt.Printf("resumed from %s (%d-byte snapshot)\n", *resume, len(snap))
+		}
+	case *ckptAt > 0:
+		var snap []byte
+		res, snap, err = beacon.RunWithCheckpoint(cfg, *ckptAt)
+		if err == nil {
+			if werr := os.WriteFile(*snapFile, snap, 0o644); werr != nil {
+				fail(werr)
+			}
+			fmt.Printf("snapshot written to %s (%d bytes)\n", *snapFile, len(snap))
+		}
+	default:
+		res, err = beacon.Run(cfg)
+	}
 	if err != nil {
 		fail(err)
 	}

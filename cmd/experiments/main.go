@@ -35,7 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 	"time"
 
 	"scionmpr/internal/core"
@@ -52,11 +56,37 @@ func main() {
 		ases      = flag.Int("ases", 0, "override topology size; the core/ISD structure scales proportionally")
 		workers   = flag.Int("workers", 0, "simulator workers: 1 sequential, 0 default (SCIONMPR_WORKERS or GOMAXPROCS); output is identical for every setting")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 		telemAddr = flag.String("telemetry", "", "serve /metrics, /snapshot, /trace and /debug/pprof on this address during the run (e.g. localhost:6060)")
 		traceOut  = flag.String("trace", "", "write the structured trace event log (JSONL) to this file at exit")
 	)
 	flag.Parse()
 
+	// flushProfiles finalizes any requested profiles exactly once; it runs
+	// both on the normal exit path and from the SIGINT handler so that a
+	// long scaling run interrupted mid-way still yields usable profiles.
+	var profOnce sync.Once
+	flushProfiles := func() {
+		profOnce.Do(func() {
+			if *cpuprof != "" {
+				pprof.StopCPUProfile()
+			}
+			if *memprof != "" {
+				f, err := os.Create(*memprof)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					return
+				}
+				defer f.Close()
+				// Up-to-date live-heap numbers rather than the stats of
+				// the last completed GC cycle.
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+			}
+		})
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -65,7 +95,17 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail(err)
 		}
-		defer pprof.StopCPUProfile()
+	}
+	defer flushProfiles()
+	if *cpuprof != "" || *memprof != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigc
+			fmt.Fprintf(os.Stderr, "experiments: %v — flushing profiles\n", s)
+			flushProfiles()
+			os.Exit(130)
+		}()
 	}
 
 	var (

@@ -40,8 +40,19 @@ func (a AS) String() string {
 	if a.Inherited() {
 		return strconv.FormatUint(uint64(a), 10)
 	}
-	return fmt.Sprintf("%x:%x:%x",
-		uint16(a>>32), uint16(a>>16), uint16(a))
+	var buf [14]byte
+	return string(a.appendFormat(buf[:0]))
+}
+
+func (a AS) appendFormat(b []byte) []byte {
+	if a.Inherited() {
+		return strconv.AppendUint(b, uint64(a), 10)
+	}
+	b = strconv.AppendUint(b, uint64(uint16(a>>32)), 16)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(uint16(a>>16)), 16)
+	b = append(b, ':')
+	return strconv.AppendUint(b, uint64(uint16(a)), 16)
 }
 
 // ParseAS parses either a decimal BGP AS number or the colon-separated
@@ -91,8 +102,19 @@ func MustIA(isd ISD, as AS) IA {
 // IsZero reports whether ia is the zero (unspecified) IA.
 func (ia IA) IsZero() bool { return ia.ISD == 0 && ia.AS == 0 }
 
+// String renders the canonical "isd-as" notation. Hand-rolled rather
+// than fmt-based: IA.String sits under beaconing's hop-key construction,
+// where fmt's boxing tripled the allocation count.
 func (ia IA) String() string {
-	return fmt.Sprintf("%d-%s", ia.ISD, ia.AS)
+	var buf [20]byte
+	return string(ia.AppendFormat(buf[:0]))
+}
+
+// AppendFormat appends the canonical "isd-as" text to b.
+func (ia IA) AppendFormat(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(ia.ISD), 10)
+	b = append(b, '-')
+	return ia.AS.appendFormat(b)
 }
 
 // ParseIA parses the canonical "isd-as" notation.

@@ -96,9 +96,24 @@ type RunResult struct {
 	End sim.Time
 }
 
-// Run builds the beacon servers, schedules interval ticks for the whole
-// duration, and drains the event queue.
-func Run(cfg RunConfig) (*RunResult, error) {
+// runActors bundles the constructed simulation actors. Run and Resume
+// share the construction (buildActors) but differ in how the event
+// population is (re)created: a fresh run registers ticks, then failures,
+// then the chaos plan; a resumed run registers failures, then chaos, then
+// ticks, which reproduces the relative sequence ordering the original
+// run's pending events had at the checkpoint (setup-registered fault
+// actions carry smaller sequence numbers than self-rescheduled ticks).
+type runActors struct {
+	infra   *trust.Infra
+	s       *sim.Simulator
+	net     *sim.Network
+	servers map[addr.IA]*Server
+	end     sim.Time
+}
+
+// buildActors validates cfg and constructs the simulator, network, and
+// beacon servers, without scheduling any events.
+func buildActors(cfg RunConfig) (*runActors, error) {
 	if cfg.Topo == nil || cfg.Selector == nil {
 		return nil, fmt.Errorf("beacon: run config missing topology or selector")
 	}
@@ -146,49 +161,116 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		srv.SetTelemetry(cfg.Telemetry)
 		servers[ia] = srv
 	}
-	end := sim.Time(cfg.Duration)
+	return &runActors{infra: infra, s: s, net: net, servers: servers, end: sim.Time(cfg.Duration)}, nil
+}
+
+// scheduleTicks registers the per-AS beaconing intervals, starting at the
+// simulator's current time (zero for a fresh run, the checkpoint time for
+// a resumed one — where the original run's tick events for that timestamp
+// were pending but unexecuted).
+func (a *runActors) scheduleTicks(cfg RunConfig) {
 	for _, ia := range cfg.Topo.IAs() {
-		srv := servers[ia]
-		s.EveryShard(net.Shard(ia), 0, cfg.Interval, end, srv.Tick)
+		srv := a.servers[ia]
+		a.s.EveryShard(a.net.Shard(ia), 0, cfg.Interval, a.end, srv.Tick)
 	}
-	revokeAll := func(l *topology.Link) {
+}
+
+// revokeAllFunc builds the link-failure reaction shared by scheduled
+// failures and chaos faults.
+func (a *runActors) revokeAllFunc(cfg RunConfig) func(*topology.Link) {
+	return func(l *topology.Link) {
 		for _, ia := range cfg.Topo.IAs() {
-			servers[ia].HandleLinkFailure(l)
+			a.servers[ia].HandleLinkFailure(l)
 		}
 	}
+}
+
+// scheduleFailures registers the configured link failures, skipping
+// actions strictly before `from` (already applied and captured in the
+// network state on a resumed run; actions at exactly `from` were pending
+// and unexecuted at the checkpoint, so they are re-registered).
+func (a *runActors) scheduleFailures(cfg RunConfig, from sim.Time, revokeAll func(*topology.Link)) {
 	for _, f := range cfg.Failures {
 		f := f
-		s.Schedule(f.After, func() {
-			net.FailLink(f.Link.ID)
-			revokeAll(f.Link)
-		})
-		if f.Recover > 0 {
-			s.Schedule(f.After+f.Recover, func() {
-				net.RestoreLink(f.Link.ID)
+		at := sim.Time(f.After)
+		if at < 0 {
+			at = 0
+		}
+		if at >= from {
+			a.s.At(at, func() {
+				a.net.FailLink(f.Link.ID)
+				revokeAll(f.Link)
 			})
 		}
-	}
-	var eng *chaos.Engine
-	if cfg.Chaos != nil {
-		eng = chaos.NewEngine(s, net)
-		eng.SetTelemetry(cfg.Telemetry)
-		eng.AddCrashTarget(serverCrashTarget{servers})
-		eng.OnFail = func(id topology.LinkID) {
-			if l := cfg.Topo.LinkByID(id); l != nil {
-				revokeAll(l)
+		if f.Recover > 0 {
+			rec := sim.Time(f.After + f.Recover)
+			if rec < 0 {
+				rec = 0
+			}
+			if rec >= from {
+				a.s.At(rec, func() {
+					a.net.RestoreLink(f.Link.ID)
+				})
 			}
 		}
-		if err := eng.Apply(cfg.Chaos); err != nil {
+	}
+}
+
+// applyChaos builds the fault-injection engine and registers the
+// surviving plan actions. state, when non-nil, restores the engine's
+// bookkeeping (overlap depths, injection counts) from a checkpoint before
+// the plan is re-derived; Apply itself drops actions in the simulated
+// past, so a resumed engine re-registers exactly the actions that were
+// pending at the checkpoint.
+func (a *runActors) applyChaos(cfg RunConfig, revokeAll func(*topology.Link), state []byte) (*chaos.Engine, error) {
+	if cfg.Chaos == nil {
+		return nil, nil
+	}
+	eng := chaos.NewEngine(a.s, a.net)
+	eng.SetTelemetry(cfg.Telemetry)
+	eng.AddCrashTarget(serverCrashTarget{a.servers})
+	eng.OnFail = func(id topology.LinkID) {
+		if l := cfg.Topo.LinkByID(id); l != nil {
+			revokeAll(l)
+		}
+	}
+	if state != nil {
+		if err := eng.RestoreState(state); err != nil {
 			return nil, err
 		}
 	}
-	s.RunUntil(end)
-	// Drain in-flight deliveries scheduled before the end time.
-	final := s.Run()
-	if final < end {
-		final = end
+	if err := eng.Apply(cfg.Chaos); err != nil {
+		return nil, err
 	}
-	return &RunResult{Cfg: cfg, Sim: s, Net: net, Servers: servers, Chaos: eng, End: final}, nil
+	return eng, nil
+}
+
+// finish drains the event queue and assembles the result.
+func (a *runActors) finish(cfg RunConfig, eng *chaos.Engine) *RunResult {
+	a.s.RunUntil(a.end)
+	// Drain in-flight deliveries scheduled before the end time.
+	final := a.s.Run()
+	if final < a.end {
+		final = a.end
+	}
+	return &RunResult{Cfg: cfg, Sim: a.s, Net: a.net, Servers: a.servers, Chaos: eng, End: final}
+}
+
+// Run builds the beacon servers, schedules interval ticks for the whole
+// duration, and drains the event queue.
+func Run(cfg RunConfig) (*RunResult, error) {
+	a, err := buildActors(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.scheduleTicks(cfg)
+	revokeAll := a.revokeAllFunc(cfg)
+	a.scheduleFailures(cfg, 0, revokeAll)
+	eng, err := a.applyChaos(cfg, revokeAll, nil)
+	if err != nil {
+		return nil, err
+	}
+	return a.finish(cfg, eng), nil
 }
 
 // serverCrashTarget adapts the server map to chaos.CrashTarget.

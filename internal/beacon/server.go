@@ -83,6 +83,14 @@ type Server struct {
 	// the allocator. Safe because selectors copy what they keep.
 	selCands   []*seg.PCB
 	selIngress []addr.IfID
+	// interner dedups the identity caches (hop key, link list) of
+	// repeated extensions: steady-state beaconing re-extends the same
+	// stored paths every interval. Per-server, so parallel shards never
+	// share it.
+	interner seg.Interner
+	// base is the reusable zero-entry origination beacon (extensions copy
+	// its Info by value, so re-initializing it in place is safe).
+	base *seg.PCB
 
 	// shard is the AS's simulator shard, cached for telemetry cells and
 	// trace attribution.
@@ -156,10 +164,14 @@ func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Messag
 	if !ok {
 		return
 	}
+	// Every reject path below recycles the beacon: this server is the
+	// message's only receiver, and a PCB that was never stored left no
+	// references behind (see seg.Recycle).
 	if s.down {
 		s.DroppedWhileDown++
 		s.cDroppedDown.Inc()
 		s.filtered(from, pm.PCB, "down")
+		seg.Recycle(pm.PCB)
 		return
 	}
 	s.Received++
@@ -170,6 +182,7 @@ func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Messag
 			s.Rejected++
 			s.cRejVerify.Inc()
 			s.filtered(from, pm.PCB, "verify")
+			seg.Recycle(pm.PCB)
 			return
 		}
 	}
@@ -177,18 +190,26 @@ func (s *Server) HandleMessage(from addr.IA, link *topology.Link, msg sim.Messag
 		s.Rejected++ // loop
 		s.cRejLoop.Inc()
 		s.filtered(from, pm.PCB, "loop")
+		seg.Recycle(pm.PCB)
 		return
 	}
 	if !s.cfg.Policy.AcceptsReceive(pm.PCB) {
 		s.Rejected++ // policy
 		s.cRejPolicy.Inc()
 		s.filtered(from, pm.PCB, "policy")
+		seg.Recycle(pm.PCB)
 		return
 	}
-	if !s.store.Insert(now, pm.PCB, link.LocalIf(s.cfg.Local)) {
+	switch s.store.InsertPCB(now, pm.PCB, link.LocalIf(s.cfg.Local)) {
+	case Stored, Refreshed:
+		// The store took the reference.
+	case DupStale:
+		seg.Recycle(pm.PCB) // path already represented; not a rejection
+	default: // DropExpired, DropWorse
 		s.Rejected++
 		s.cRejStore.Inc()
 		s.filtered(from, pm.PCB, "store")
+		seg.Recycle(pm.PCB)
 	}
 }
 
@@ -283,8 +304,12 @@ func (s *Server) originate(now sim.Time) {
 	for _, nl := range s.egressLinks() {
 		for _, l := range nl.Links {
 			s.segID++
-			p := seg.NewPCB(local, s.segID, now, sim.Time(s.cfg.PCBLifetime))
-			ext, err := p.Extend(s.cfg.Signer, nl.Neighbor, 0, l.LocalIf(local), s.peerEntries(), s.cfg.MTU)
+			if s.base == nil {
+				s.base = seg.NewPCB(local, s.segID, now, sim.Time(s.cfg.PCBLifetime))
+			} else {
+				s.base.Reinit(s.segID, now, sim.Time(s.cfg.PCBLifetime))
+			}
+			ext, err := s.base.ExtendInterned(&s.interner, s.cfg.Signer, nl.Neighbor, 0, l.LocalIf(local), s.peerEntries(), s.cfg.MTU)
 			if err != nil {
 				continue
 			}
@@ -346,7 +371,7 @@ func (s *Server) propagate(now sim.Time) {
 						break
 					}
 				}
-				ext, err := sel.PCB.Extend(s.cfg.Signer, nl.Neighbor, ingressIf, sel.Egress, s.peerEntries(), s.cfg.MTU)
+				ext, err := sel.PCB.ExtendInterned(&s.interner, s.cfg.Signer, nl.Neighbor, ingressIf, sel.Egress, s.peerEntries(), s.cfg.MTU)
 				if err != nil {
 					continue
 				}

@@ -36,14 +36,22 @@ type Store struct {
 	// propagation asks for it every tick but it only changes when an
 	// origin appears or runs dry.
 	origins []addr.IA
+	// arena chunk-allocates entries and free recycles evicted slots, so
+	// steady-state insert/evict churn costs one allocation per 64 entries
+	// instead of one each — and the GC scans flat chunks, not a pointer
+	// graph of individual entries.
+	arena []Entry
+	free  []*Entry
 }
 
 // originSet is one origin's entries plus the bookkeeping that keeps the
 // full-store Insert path off O(Limit) map scans: a lower bound on the
 // earliest stored expiry (no expired-entry sweep can succeed before it)
 // and a cached worst entry (eviction candidate; nil = recompute).
-// Both exploit that an entry's eviction rank (worse) and expiry are
-// immutable once stored.
+// Both exploit that a stored entry's expiry only ever increases (in-place
+// refresh of the same path), which can never make its eviction rank
+// (worse) overtake the cached worst; the one case where the rank of the
+// cached worst itself changes is handled by invalidating it.
 type originSet struct {
 	m         map[storeKey]*Entry
 	minExpiry sim.Time
@@ -74,14 +82,50 @@ func entryKey(p *seg.PCB, ingress addr.IfID) storeKey {
 	return storeKey{hops: p.HopsKey(), ingress: ingress}
 }
 
+// InsertResult reports what Insert did with a beacon. Outcomes where the
+// presented PCB itself was not retained (everything except Stored and
+// Refreshed) let the caller recycle the beacon's buffers.
+type InsertResult uint8
+
+const (
+	// Stored: the beacon now occupies a new store entry.
+	Stored InsertResult = iota
+	// Refreshed: a newer instance of an already-stored path replaced the
+	// old instance in place.
+	Refreshed
+	// DupStale: an instance of this path with an equal-or-later expiry is
+	// already stored; the presented beacon was dropped (not a rejection —
+	// the path is represented).
+	DupStale
+	// DropExpired: dead on arrival.
+	DropExpired
+	// DropWorse: the per-origin budget is full of entries at least as
+	// good.
+	DropWorse
+)
+
+// Accepted reports whether the path is represented in the store after
+// the call (the legacy boolean Insert result).
+func (r InsertResult) Accepted() bool { return r <= DupStale }
+
+// Retained reports whether the store kept a reference to the presented
+// PCB; when false the caller still owns it.
+func (r InsertResult) Retained() bool { return r <= Refreshed }
+
 // Insert stores a received beacon. It returns false when the beacon was
 // dropped: expired on arrival, or the per-origin budget is full of
-// entries at least as good. "Better" prefers shorter paths, then later
-// expiry, matching the baseline's path-length orientation while keeping
-// fresh instances alive for the diversity algorithm.
+// entries at least as good.
 func (s *Store) Insert(now sim.Time, p *seg.PCB, ingress addr.IfID) bool {
+	return s.InsertPCB(now, p, ingress).Accepted()
+}
+
+// InsertPCB stores a received beacon and reports the precise outcome.
+// "Better" prefers shorter paths, then later expiry, matching the
+// baseline's path-length orientation while keeping fresh instances alive
+// for the diversity algorithm.
+func (s *Store) InsertPCB(now sim.Time, p *seg.PCB, ingress addr.IfID) InsertResult {
 	if p.Expired(now) {
-		return false
+		return DropExpired
 	}
 	origin := p.Origin()
 	os := s.byOrigin[origin]
@@ -92,22 +136,24 @@ func (s *Store) Insert(now sim.Time, p *seg.PCB, ingress addr.IfID) bool {
 	wasEmpty := len(os.m) == 0
 	key := entryKey(p, ingress)
 	if old, ok := os.m[key]; ok {
-		// Same path: keep the instance with the later expiry.
-		if p.Info.Expiry > old.PCB.Info.Expiry {
-			if old == os.worst {
-				os.worst = nil // rank changed; recompute on demand
-			}
-			e := &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
-			os.m[key] = e
-			os.replaceSorted(old, e)
-			os.noteInsert(e, key)
+		// Same path: keep the instance with the later expiry. The sort
+		// position is keyed on hops+ingress, both equal, so the refresh
+		// mutates the entry in place — the steady-state hot path of
+		// re-originated beacons costs no allocation and no map write.
+		if p.Info.Expiry <= old.PCB.Info.Expiry {
+			return DupStale
 		}
-		return true
+		if old == os.worst {
+			os.worst = nil // rank changed; recompute on demand
+		}
+		old.PCB, old.ReceivedAt = p, now
+		os.noteInsert(old, key)
+		return Refreshed
 	}
 	if s.Limit > 0 && len(os.m) >= s.Limit && now >= os.minExpiry {
 		// Evict expired entries; only reachable once something can
 		// actually have expired, so the steady state never scans here.
-		os.sweep(now)
+		os.sweep(s, now)
 	}
 	if s.Limit > 0 && len(os.m) >= s.Limit {
 		// Replace the worst stored entry if the new beacon beats it.
@@ -115,20 +161,45 @@ func (s *Store) Insert(now sim.Time, p *seg.PCB, ingress addr.IfID) bool {
 			os.findWorst()
 		}
 		if os.worst == nil || !betterPCB(p, os.worst.PCB) {
-			return false
+			return DropWorse
 		}
 		delete(os.m, os.worstKey)
 		os.removeSorted(os.worst)
+		s.release(os.worst)
 		os.worst = nil
 	}
-	e := &Entry{PCB: p, Ingress: ingress, ReceivedAt: now}
+	e := s.alloc(Entry{PCB: p, Ingress: ingress, ReceivedAt: now})
 	os.m[key] = e
 	os.insertSorted(e)
 	os.noteInsert(e, key)
 	if wasEmpty {
 		s.origins = nil // a new origin became visible
 	}
-	return true
+	return Stored
+}
+
+// alloc hands out an entry slot from the free list or the arena.
+func (s *Store) alloc(v Entry) *Entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = v
+		return e
+	}
+	if len(s.arena) == 0 {
+		s.arena = make([]Entry, 64)
+	}
+	e := &s.arena[0]
+	s.arena = s.arena[1:]
+	*e = v
+	return e
+}
+
+// release returns an evicted entry's slot to the free list. Callers must
+// have removed it from the origin's map and sorted order first.
+func (s *Store) release(e *Entry) {
+	*e = Entry{} // drop the PCB reference
+	s.free = append(s.free, e)
 }
 
 // entryLess is the Entries presentation order: shortest paths first,
@@ -163,19 +234,6 @@ func (os *originSet) insertSorted(e *Entry) {
 	os.sorted[i] = e
 }
 
-// replaceSorted swaps a same-key replacement in place (identical sort
-// position, since the order is keyed on hops+ingress).
-func (os *originSet) replaceSorted(old, e *Entry) {
-	if os.sorted == nil {
-		return
-	}
-	if i := os.sortedIndex(old); i < len(os.sorted) && os.sorted[i] == old {
-		os.sorted[i] = e
-		return
-	}
-	os.sorted = nil // inconsistent; rebuild lazily
-}
-
 // removeSorted drops an evicted entry from the maintained order.
 func (os *originSet) removeSorted(e *Entry) {
 	if os.sorted == nil {
@@ -207,14 +265,16 @@ func (os *originSet) noteInsert(e *Entry, key storeKey) {
 	}
 }
 
-// sweep deletes expired entries and recomputes the exact bounds.
-func (os *originSet) sweep(now sim.Time) {
+// sweep deletes expired entries, releasing their slots, and recomputes
+// the exact bounds.
+func (os *originSet) sweep(s *Store, now sim.Time) {
 	os.minExpiry = maxTime
 	os.worst = nil
 	os.sorted = nil // rebuilt lazily by Entries
 	for k, e := range os.m {
 		if e.PCB.Expired(now) {
 			delete(os.m, k)
+			s.release(e)
 			continue
 		}
 		if e.PCB.Info.Expiry < os.minExpiry {
@@ -288,7 +348,7 @@ func (s *Store) Entries(now sim.Time, origin addr.IA) []*Entry {
 		return nil
 	}
 	if now >= os.minExpiry {
-		os.sweep(now)
+		os.sweep(s, now)
 		if len(os.m) == 0 {
 			s.origins = nil // the origin ran dry
 			return nil
@@ -313,7 +373,7 @@ func (s *Store) PCBs(now sim.Time, origin addr.IA) []*seg.PCB {
 // Prune removes expired beacons everywhere.
 func (s *Store) Prune(now sim.Time) {
 	for origin, os := range s.byOrigin {
-		os.sweep(now)
+		os.sweep(s, now)
 		if len(os.m) == 0 {
 			delete(s.byOrigin, origin)
 		}
@@ -337,6 +397,7 @@ func (s *Store) RevokeLink(link seg.LinkKey) int {
 					if e == os.worst {
 						os.worst = nil
 					}
+					s.release(e)
 					dropped++
 					break
 				}

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/topology"
+)
+
+// AppendState serializes the engine's fault bookkeeping in canonical
+// order: overlap depth counters per link and AS, the active gray-rate and
+// delay-spike stacks (in push order — pop removes the first matching
+// value, so order is behavior), and the per-kind injection counts.
+//
+// A resumed run re-derives the fault plan itself by re-running Apply with
+// the same schedule (the plan is a pure function of the schedule's seed);
+// this state carries only what the surviving recover actions need to
+// unwind correctly across the checkpoint boundary.
+func (e *Engine) AppendState(dst []byte) []byte {
+	linkKeys := func(n int) []topology.LinkID { return make([]topology.LinkID, 0, n) }
+
+	ids := linkKeys(len(e.failDepth))
+	for id := range e.failDepth {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.failDepth[id]))
+	}
+
+	ids = linkKeys(len(e.grayRates))
+	for id := range e.grayRates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		rates := e.grayRates[id]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(rates)))
+		for _, r := range rates {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r))
+		}
+	}
+
+	ids = linkKeys(len(e.spikes))
+	for id := range e.spikes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		ds := e.spikes[id]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(ds)))
+		for _, d := range ds {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(d))
+		}
+	}
+
+	ias := make([]addr.IA, 0, len(e.crashDepth))
+	for ia := range e.crashDepth {
+		ias = append(ias, ia)
+	}
+	sort.Slice(ias, func(i, j int) bool { return ias[i].Less(ias[j]) })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ias)))
+	for _, ia := range ias {
+		dst = binary.BigEndian.AppendUint64(dst, ia.Uint64())
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.crashDepth[ia]))
+	}
+
+	kinds := make([]int, 0, len(e.Injections))
+	for k := range e.Injections {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(kinds)))
+	for _, k := range kinds {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(k))
+		dst = binary.BigEndian.AppendUint64(dst, e.Injections[Kind(k)])
+	}
+	return dst
+}
+
+// RestoreState rebuilds the bookkeeping serialized by AppendState on a
+// freshly constructed engine. Call it before Apply, which registers the
+// surviving fault-plan actions.
+func (e *Engine) RestoreState(b []byte) error {
+	off := 0
+	fail := func(what string) error {
+		return fmt.Errorf("chaos: engine state truncated in %s at offset %d", what, off)
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(b[off:])
+		off += 8
+		return v, true
+	}
+
+	n, ok := u32()
+	if !ok {
+		return fail("failDepth")
+	}
+	for i := uint32(0); i < n; i++ {
+		id, ok1 := u32()
+		depth, ok2 := u32()
+		if !ok1 || !ok2 {
+			return fail("failDepth")
+		}
+		e.failDepth[topology.LinkID(id)] = int(depth)
+	}
+
+	if n, ok = u32(); !ok {
+		return fail("grayRates")
+	}
+	for i := uint32(0); i < n; i++ {
+		id, ok1 := u32()
+		m, ok2 := u32()
+		if !ok1 || !ok2 {
+			return fail("grayRates")
+		}
+		rates := make([]float64, m)
+		for j := range rates {
+			bits, ok := u64()
+			if !ok {
+				return fail("grayRates")
+			}
+			rates[j] = math.Float64frombits(bits)
+		}
+		e.grayRates[topology.LinkID(id)] = rates
+	}
+
+	if n, ok = u32(); !ok {
+		return fail("spikes")
+	}
+	for i := uint32(0); i < n; i++ {
+		id, ok1 := u32()
+		m, ok2 := u32()
+		if !ok1 || !ok2 {
+			return fail("spikes")
+		}
+		ds := make([]time.Duration, m)
+		for j := range ds {
+			v, ok := u64()
+			if !ok {
+				return fail("spikes")
+			}
+			ds[j] = time.Duration(v)
+		}
+		e.spikes[topology.LinkID(id)] = ds
+	}
+
+	if n, ok = u32(); !ok {
+		return fail("crashDepth")
+	}
+	for i := uint32(0); i < n; i++ {
+		ia, ok1 := u64()
+		depth, ok2 := u32()
+		if !ok1 || !ok2 {
+			return fail("crashDepth")
+		}
+		e.crashDepth[addr.IAFromUint64(ia)] = int(depth)
+	}
+
+	if n, ok = u32(); !ok {
+		return fail("injections")
+	}
+	for i := uint32(0); i < n; i++ {
+		k, ok1 := u32()
+		count, ok2 := u64()
+		if !ok1 || !ok2 {
+			return fail("injections")
+		}
+		e.Injections[Kind(k)] = count
+	}
+	if off != len(b) {
+		return fmt.Errorf("chaos: engine state has %d trailing bytes", len(b)-off)
+	}
+	return nil
+}

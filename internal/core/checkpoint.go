@@ -1,0 +1,279 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+)
+
+// Checkpointer is implemented by stateful selectors that support run
+// checkpoint/resume: AppendState serializes the selector's full state in
+// canonical (content-determined) byte order, and RestoreState rebuilds it
+// on a freshly constructed instance of the same configuration. Stateless
+// selectors (the baseline) need not implement it — a resumed run simply
+// constructs them anew.
+type Checkpointer interface {
+	AppendState(dst []byte) []byte
+	RestoreState(b []byte) error
+}
+
+// stateReader is a cursor over a selector state blob with sticky errors,
+// mirroring the seg wire-decoder discipline.
+type stateReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *stateReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *stateReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.fail("core: selector state truncated at offset %d (need %d of %d)", r.off, n, len(r.b))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *stateReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *stateReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *stateReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *stateReader) str() string {
+	n := int(r.u32())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("core: selector state has %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// appendSentMap serializes a Sent PCBs List in canonical order: egress
+// interfaces ascending, then path keys in byte order. Expired records are
+// written verbatim — Revoke walks them for counter rollback, so pruning
+// here would change post-resume behavior.
+func appendSentMap(dst []byte, sent map[addr.IfID]map[string]sentRecord) []byte {
+	egs := make([]addr.IfID, 0, len(sent))
+	total := 0
+	for eg, byKey := range sent {
+		if len(byKey) == 0 {
+			continue
+		}
+		egs = append(egs, eg)
+		total += len(byKey)
+	}
+	sort.Slice(egs, func(i, j int) bool { return egs[i] < egs[j] })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(total))
+	var keys []string
+	for _, eg := range egs {
+		byKey := sent[eg]
+		keys = keys[:0]
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec := byKey[k]
+			dst = binary.BigEndian.AppendUint16(dst, uint16(eg))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rec.diversity))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(rec.timestamp))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(rec.expiry))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.links)))
+			for _, id := range rec.links {
+				dst = binary.BigEndian.AppendUint32(dst, id)
+			}
+			dst = binary.BigEndian.AppendUint64(dst, rec.origin.Uint64())
+			dst = binary.BigEndian.AppendUint64(dst, rec.neighbor.Uint64())
+		}
+	}
+	return dst
+}
+
+func readSentMap(r *stateReader) map[addr.IfID]map[string]sentRecord {
+	sent := map[addr.IfID]map[string]sentRecord{}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		eg := addr.IfID(r.u16())
+		key := r.str()
+		var rec sentRecord
+		rec.diversity = math.Float64frombits(r.u64())
+		rec.timestamp = sim.Time(r.u64())
+		rec.expiry = sim.Time(r.u64())
+		nl := int(r.u32())
+		if nl > 0 && r.err == nil {
+			rec.links = make([]uint32, nl)
+			for j := range rec.links {
+				rec.links[j] = r.u32()
+			}
+		}
+		rec.origin = addr.IAFromUint64(r.u64())
+		rec.neighbor = addr.IAFromUint64(r.u64())
+		byKey := sent[eg]
+		if byKey == nil {
+			byKey = map[string]sentRecord{}
+			sent[eg] = byKey
+		}
+		byKey[key] = rec
+	}
+	return sent
+}
+
+// AppendState implements Checkpointer for the diversity algorithm. The
+// serialized state is the interned-id table, the Link History Tables, and
+// the Sent PCBs Lists — everything future Select/Revoke decisions read.
+// The per-PCB id cache and Select scratch are derived state and rebuilt
+// on demand after a restore.
+func (d *Diversity) AppendState(dst []byte) []byte {
+	// Interned ids are dense 1..n; writing the keys in id order lets
+	// RestoreState reassign identical ids, which the Link History Tables
+	// and sent-record link lists below reference.
+	keys := make([]seg.LinkKey, len(d.ids))
+	for lk, id := range d.ids {
+		keys[id-1] = lk
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, lk := range keys {
+		dst = binary.BigEndian.AppendUint64(dst, lk.IA.Uint64())
+		dst = binary.BigEndian.AppendUint16(dst, uint16(lk.If))
+	}
+
+	// Link History Tables as (origin, neighbor, id, count) tuples in
+	// canonical order. Zero counters are equivalent to absent ones for
+	// every reader (lookups default to zero), so they are skipped.
+	type histEntry struct {
+		origin, neighbor addr.IA
+		id               uint32
+		count            int32
+	}
+	var hist []histEntry
+	for origin, byN := range d.hist {
+		for neighbor, t := range byN {
+			for id, c := range t {
+				if c != 0 {
+					hist = append(hist, histEntry{origin, neighbor, id, c})
+				}
+			}
+		}
+	}
+	sort.Slice(hist, func(i, j int) bool {
+		a, b := hist[i], hist[j]
+		if a.origin != b.origin {
+			return a.origin.Less(b.origin)
+		}
+		if a.neighbor != b.neighbor {
+			return a.neighbor.Less(b.neighbor)
+		}
+		return a.id < b.id
+	})
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(hist)))
+	for _, e := range hist {
+		dst = binary.BigEndian.AppendUint64(dst, e.origin.Uint64())
+		dst = binary.BigEndian.AppendUint64(dst, e.neighbor.Uint64())
+		dst = binary.BigEndian.AppendUint32(dst, e.id)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.count))
+	}
+
+	return appendSentMap(dst, d.sent)
+}
+
+// RestoreState implements Checkpointer for the diversity algorithm.
+func (d *Diversity) RestoreState(b []byte) error {
+	r := &stateReader{b: b}
+	nIDs := int(r.u32())
+	ids := make(map[seg.LinkKey]uint32, nIDs)
+	for i := 0; i < nIDs && r.err == nil; i++ {
+		lk := seg.LinkKey{IA: addr.IAFromUint64(r.u64()), If: addr.IfID(r.u16())}
+		ids[lk] = uint32(i) + 1
+	}
+	nHist := int(r.u32())
+	hist := map[addr.IA]map[addr.IA]map[uint32]int32{}
+	for i := 0; i < nHist && r.err == nil; i++ {
+		origin := addr.IAFromUint64(r.u64())
+		neighbor := addr.IAFromUint64(r.u64())
+		id := r.u32()
+		count := int32(r.u32())
+		byN := hist[origin]
+		if byN == nil {
+			byN = map[addr.IA]map[uint32]int32{}
+			hist[origin] = byN
+		}
+		t := byN[neighbor]
+		if t == nil {
+			t = map[uint32]int32{}
+			byN[neighbor] = t
+		}
+		t[id] = count
+	}
+	sent := readSentMap(r)
+	if err := r.done(); err != nil {
+		return err
+	}
+	d.ids = ids
+	d.hist = hist
+	d.sent = sent
+	d.baseIDs = map[*seg.PCB][]uint32{}
+	return nil
+}
+
+// AppendState implements Checkpointer for the latency-aware selector,
+// whose only mutable state is its Sent PCBs List.
+func (l *LatencyAware) AppendState(dst []byte) []byte {
+	return appendSentMap(dst, l.sent)
+}
+
+// RestoreState implements Checkpointer for the latency-aware selector.
+func (l *LatencyAware) RestoreState(b []byte) error {
+	r := &stateReader{b: b}
+	sent := readSentMap(r)
+	if err := r.done(); err != nil {
+		return err
+	}
+	l.sent = sent
+	return nil
+}

@@ -48,40 +48,65 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 
 	// Control-plane bytes crossing a monitor's interfaces (RX+TX): core
 	// ASes originate but receive nothing in intra-ISD beaconing, so a
-	// one-sided measure would degenerate to zero there.
-	monitorBytes := func(run *beacon.RunResult, ia addr.IA) float64 {
-		if run.Cfg.Topo.AS(ia) == nil {
-			return math.NaN() // monitor outside this sub-topology
+	// one-sided measure would degenerate to zero there. Each RunResult
+	// is reduced to this per-monitor vector as soon as its stage ends —
+	// a run's beacon stores dominate the resident set at large -ases,
+	// and keeping three of them alive through the BGP stage is what
+	// used to cap the reachable topology size.
+	monitorBytes := func(run *beacon.RunResult) []float64 {
+		out := make([]float64, len(monitors))
+		for i, ia := range monitors {
+			if run.Cfg.Topo.AS(ia) == nil {
+				out[i] = math.NaN() // monitor outside this sub-topology
+				continue
+			}
+			out[i] = float64(run.Net.TotalRx(ia)+run.Net.TotalTx(ia)) * monthScale
 		}
-		return float64(run.Net.TotalRx(ia)+run.Net.TotalTx(ia)) * monthScale
+		return out
+	}
+
+	// coreStage runs one core-beaconing configuration and keeps only the
+	// per-monitor vector: the RunResult (and its beacon store) becomes
+	// unreachable as soon as the helper returns.
+	coreStage := func(f core.Factory) ([]float64, error) {
+		run, err := e.runCore(f, s.StoreLimit)
+		if err != nil {
+			return nil, err
+		}
+		return monitorBytes(run), nil
 	}
 
 	// SCION core beaconing, baseline and diversity.
-	baseRun, err := e.runCore(core.NewBaseline(s.DissemLimit), s.StoreLimit)
-	if err != nil {
+	if res.CoreBaseline, err = coreStage(core.NewBaseline(s.DissemLimit)); err != nil {
 		return nil, err
 	}
 	stages.Done("core baseline")
-	divRun, err := e.runCore(core.NewDiversity(core.DefaultParams(s.DissemLimit)), s.StoreLimit)
-	if err != nil {
+	if res.CoreDiversity, err = coreStage(core.NewDiversity(core.DefaultParams(s.DissemLimit))); err != nil {
 		return nil, err
 	}
 	stages.Done("core diversity")
 
-	// Intra-ISD beaconing on the large ISD built from the full topology.
-	isdTopo, err := topology.BuildISD(e.full, s.ISDCores)
-	if err != nil {
-		return nil, err
+	// Intra-ISD beaconing on the large ISD built from the full topology;
+	// same scoping discipline as coreStage.
+	intraStage := func() ([]float64, error) {
+		isdTopo, err := topology.BuildISD(e.full, s.ISDCores)
+		if err != nil {
+			return nil, err
+		}
+		intraCfg := beacon.DefaultRunConfig(isdTopo, beacon.IntraMode, core.NewBaseline(s.DissemLimit), s.StoreLimit)
+		intraCfg.Interval = s.Interval
+		intraCfg.Lifetime = s.Lifetime
+		intraCfg.Duration = s.Duration
+		intraCfg.Workers = s.Workers
+		intraCfg.Telemetry = s.Telemetry
+		intraCfg.Tracer = s.Tracer
+		run, err := beacon.Run(intraCfg)
+		if err != nil {
+			return nil, err
+		}
+		return monitorBytes(run), nil
 	}
-	intraCfg := beacon.DefaultRunConfig(isdTopo, beacon.IntraMode, core.NewBaseline(s.DissemLimit), s.StoreLimit)
-	intraCfg.Interval = s.Interval
-	intraCfg.Lifetime = s.Lifetime
-	intraCfg.Duration = s.Duration
-	intraCfg.Workers = s.Workers
-	intraCfg.Telemetry = s.Telemetry
-	intraCfg.Tracer = s.Tracer
-	intraRun, err := beacon.Run(intraCfg)
-	if err != nil {
+	if res.IntraBaseline, err = intraStage(); err != nil {
 		return nil, err
 	}
 	stages.Done("intra-ISD")
@@ -103,9 +128,6 @@ func RunFig5(s Scale) (*Fig5Result, error) {
 		sp := bgpRes.Speakers[m]
 		res.BGP = append(res.BGP, bgpAcct.BGPMonthlyBytes(sp))
 		res.BGPsec = append(res.BGPsec, secAcct.MonthlyBytes(sp))
-		res.CoreBaseline = append(res.CoreBaseline, monitorBytes(baseRun, m))
-		res.CoreDiversity = append(res.CoreDiversity, monitorBytes(divRun, m))
-		res.IntraBaseline = append(res.IntraBaseline, monitorBytes(intraRun, m))
 	}
 	return res, nil
 }

@@ -87,6 +87,9 @@ type PCB struct {
 
 	hopsKey string
 	links   []LinkKey
+	// sigBuf is a recycled signature buffer carried by pooled carcasses
+	// between Recycle and the next Extend (see Recycle).
+	sigBuf []byte
 }
 
 // NewPCB initiates a beacon at a core AS with the given validity window.
@@ -97,6 +100,21 @@ func NewPCB(origin addr.IA, segID uint16, now sim.Time, lifetime sim.Time) *PCB 
 		Timestamp: now,
 		Expiry:    now + lifetime,
 	}}
+}
+
+// Reinit re-initializes a zero-entry beacon in place for its next
+// origination, preserving the origin and the cached origin hop key.
+// Extensions copy the Info field by value, so re-initializing the base
+// after extending it never perturbs the children. Origination servers
+// reuse one base this way instead of allocating a fresh PCB per interval
+// per link.
+func (p *PCB) Reinit(segID uint16, now sim.Time, lifetime sim.Time) {
+	if len(p.ASEntries) != 0 {
+		panic("seg: Reinit of an extended PCB")
+	}
+	p.Info.SegID = segID
+	p.Info.Timestamp = now
+	p.Info.Expiry = now + lifetime
 }
 
 // Clone deep-copies the PCB so each neighbor propagation can extend its
@@ -297,6 +315,20 @@ var encBuf = sync.Pool{New: func() interface{} { return new([]byte) }}
 // Signature slices — safe because a built PCB is immutable (see the type
 // comment); use Clone for a fully independent copy.
 func (p *PCB) Extend(signer trust.Signer, next addr.IA, ingress, egress addr.IfID, peers []PeerEntry, mtu uint16) (*PCB, error) {
+	return p.extendInto(nil, signer, next, ingress, egress, peers, mtu)
+}
+
+// ExtendInterned is Extend with identity caches (hop key, link list)
+// interned in it, and the result drawn from the extension pool. Steady-
+// state beaconing re-extends the same stored paths every interval, so
+// repeat extensions reuse one shared hop-key string and link slice
+// instead of rebuilding them. Pair with Recycle for beacons that end up
+// rejected. it may be nil (plain pooled extension).
+func (p *PCB) ExtendInterned(it *Interner, signer trust.Signer, next addr.IA, ingress, egress addr.IfID, peers []PeerEntry, mtu uint16) (*PCB, error) {
+	return p.extendInto(it, signer, next, ingress, egress, peers, mtu)
+}
+
+func (p *PCB) extendInto(it *Interner, signer trust.Signer, next addr.IA, ingress, egress addr.IfID, peers []PeerEntry, mtu uint16) (*PCB, error) {
 	e := ASEntry{
 		Local: signer.IA(),
 		Next:  next,
@@ -311,38 +343,207 @@ func (p *PCB) Extend(signer trust.Signer, next addr.IA, ingress, egress addr.IfI
 	}
 	e.Hop.MAC = chainMAC(prev, e.Local, ingress, egress)
 
+	out, _ := pcbPool.Get().(*PCB)
+	if out == nil {
+		// Pool miss: stored beacons keep their carcasses, so misses are
+		// the norm in steady state. Carve the struct from the server's
+		// arena instead of allocating individually.
+		if it != nil {
+			out = it.newPCB()
+		} else {
+			out = new(PCB)
+		}
+	}
+	sigSpace := out.sigBuf
+
 	// The signature covers the info field, all previous signed entries,
 	// and the new entry without its signature — so every hop
 	// authenticates the full upstream beacon.
 	bp := encBuf.Get().(*[]byte)
 	body := p.appendBody((*bp)[:0], len(p.ASEntries), &e)
-	sig, err := signer.Sign(body)
+	var (
+		sig []byte
+		err error
+	)
+	if as, ok := signer.(trust.AppendSigner); ok {
+		space := sigSpace
+		if it != nil && cap(space) < trust.SignatureLen {
+			// Stored beacons keep their carcasses, so recycled signature
+			// buffers are scarce in steady state; carve fresh ones from
+			// the server's slab instead of allocating individually.
+			space = it.sigSpace()
+		}
+		sig, err = as.AppendSign(space[:0], body)
+	} else {
+		sig, err = signer.Sign(body)
+	}
 	*bp = body[:0]
 	encBuf.Put(bp)
 	if err != nil {
+		out.sigBuf = sigSpace
+		pcbPool.Put(out)
 		return nil, fmt.Errorf("seg: extending PCB at %s: %w", signer.IA(), err)
 	}
 	e.Signature = sig
+
 	n := len(p.ASEntries)
-	out := &PCB{Info: p.Info, ASEntries: make([]ASEntry, n+1)}
-	copy(out.ASEntries, p.ASEntries)
-	out.ASEntries[n] = e
+	es := out.ASEntries
+	if cap(es) < n+1 {
+		if it != nil {
+			es = it.entrySpace(n + 1)
+		} else {
+			es = make([]ASEntry, n+1)
+		}
+	} else {
+		es = es[:n+1]
+	}
+	copy(es, p.ASEntries)
+	es[n] = e
+	*out = PCB{Info: p.Info, ASEntries: es}
+
 	// Fill the identity caches incrementally from the parent's: beacon
 	// stores key every insertion by HopsKey, and recomputing it from
 	// scratch for each extended copy dominated beaconing profiles.
+	if it != nil {
+		out.hopsKey, out.links = it.extend(p, &e)
+		return out, nil
+	}
 	out.hopsKey = extendHopsKey(p.HopsKey(), &e)
+	out.links = extendLinks(p, &e)
+	return out, nil
+}
+
+// extendLinks derives the child's traversed-link list from the parent's
+// cached one plus the new entry's egress.
+func extendLinks(p *PCB, e *ASEntry) []LinkKey {
 	base := p.Links()
 	if e.Hop.ConsEgress != 0 {
 		links := make([]LinkKey, len(base)+1)
 		copy(links, base)
 		links[len(base)] = LinkKey{IA: e.Local, If: e.Hop.ConsEgress}
-		out.links = links
-	} else if base != nil {
-		out.links = base // immutable once cached; safe to share
-	} else {
-		out.links = []LinkKey{} // non-nil: mark the empty list as computed
+		return links
 	}
-	return out, nil
+	if base != nil {
+		return base // immutable once cached; safe to share
+	}
+	return []LinkKey{} // non-nil: mark the empty list as computed
+}
+
+// pcbPool recycles PCB carcasses (struct, AS-entry backing array,
+// signature buffer) through originate → extend → propagate. Only beacons
+// that provably left no references behind are returned to it (see
+// Recycle); everything drawn from it is fully overwritten by extendInto.
+// No New func: extendInto handles misses itself (arena when interning).
+var pcbPool sync.Pool
+
+// Recycle returns a beacon to the extension pool. The caller must own
+// the only reference: the beacon was extended locally (or received) and
+// then dropped without ever being stored, cloned, or shared. Stored
+// beacons must never be recycled — children created by Extend share
+// their Peers and Signature slices, and selector caches key on the PCB
+// pointer.
+func Recycle(p *PCB) {
+	if p == nil {
+		return
+	}
+	var sig []byte
+	if n := len(p.ASEntries); n > 0 {
+		// The final entry's signature was allocated by this beacon's own
+		// extension and dies with it; keep the buffer for the next one.
+		sig = p.ASEntries[n-1].Signature[:0]
+	}
+	es := p.ASEntries[:cap(p.ASEntries)]
+	for i := range es {
+		es[i] = ASEntry{} // drop Peers/Signature references shared with ancestors
+	}
+	*p = PCB{ASEntries: es[:0], sigBuf: sig}
+	pcbPool.Put(p)
+}
+
+// Interner dedups the identity caches Extend computes — the canonical
+// hop-key string and traversed-link slice — across repeated extensions
+// of the same (parent path, hop) combination. One interner belongs to
+// one beacon server (one simulator actor); it must not be shared across
+// parallel shards.
+type Interner struct {
+	m map[internKey]internVal
+	// sigSlab is the signature arena: stored beacons hold their signature
+	// buffers for as long as they live, so extensions carve 96-byte slots
+	// out of chunked slabs (one allocation per 64 signatures) rather than
+	// allocating each individually. pcbSlab and entrySlab arena the PCB
+	// structs and AS-entry arrays the same way.
+	sigSlab   []byte
+	pcbSlab   []PCB
+	entrySlab []ASEntry
+}
+
+// newPCB carves one PCB struct from the arena.
+func (it *Interner) newPCB() *PCB {
+	if len(it.pcbSlab) == 0 {
+		it.pcbSlab = make([]PCB, 64)
+	}
+	p := &it.pcbSlab[0]
+	it.pcbSlab = it.pcbSlab[1:]
+	return p
+}
+
+// entrySpace carves an n-entry AS-entry array from the arena. The
+// three-index slice caps it so later appends can never spill into a
+// neighboring beacon's entries.
+func (it *Interner) entrySpace(n int) []ASEntry {
+	if cap(it.entrySlab)-len(it.entrySlab) < n {
+		c := 256
+		if n > c {
+			c = n
+		}
+		it.entrySlab = make([]ASEntry, 0, c)
+	}
+	off := len(it.entrySlab)
+	it.entrySlab = it.entrySlab[:off+n]
+	return it.entrySlab[off : off+n : off+n]
+}
+
+// sigSpace carves one signature-sized slot from the slab. The three-index
+// slice caps the slot so appends can never spill into a neighbor.
+func (it *Interner) sigSpace() []byte {
+	const chunk = 64 * trust.SignatureLen
+	if cap(it.sigSlab)-len(it.sigSlab) < trust.SignatureLen {
+		it.sigSlab = make([]byte, 0, chunk)
+	}
+	off := len(it.sigSlab)
+	it.sigSlab = it.sigSlab[:off+trust.SignatureLen]
+	return it.sigSlab[off:off:off+trust.SignatureLen]
+}
+
+// internerCap bounds retained entries; topologies with heavy path churn
+// reset the table wholesale instead of growing without bound.
+const internerCap = 1 << 16
+
+type internKey struct {
+	parent  string // parent beacon's hop key
+	local   addr.IA
+	ingress addr.IfID
+	egress  addr.IfID
+}
+
+type internVal struct {
+	hopsKey string
+	links   []LinkKey
+}
+
+// extend returns the interned identity caches for extending p by e,
+// computing and retaining them on first use.
+func (it *Interner) extend(p *PCB, e *ASEntry) (string, []LinkKey) {
+	k := internKey{parent: p.HopsKey(), local: e.Local, ingress: e.Hop.ConsIngress, egress: e.Hop.ConsEgress}
+	if v, ok := it.m[k]; ok {
+		return v.hopsKey, v.links
+	}
+	v := internVal{hopsKey: extendHopsKey(k.parent, e), links: extendLinks(p, e)}
+	if it.m == nil || len(it.m) >= internerCap {
+		it.m = make(map[internKey]internVal, 256)
+	}
+	it.m[k] = v
+	return v.hopsKey, v.links
 }
 
 // extendHopsKey appends one hop to a parent's canonical hop key,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"scionmpr/internal/addr"
@@ -66,6 +67,18 @@ type Network struct {
 	// in sequence order), so a seeded source makes every run reproducible
 	// for any worker count.
 	lossRNG *rand.Rand
+	// lossSeed is the seed lossRNG was created from and lossDraws the
+	// number of decisions drawn so far — together they let a checkpoint
+	// restore reproduce the RNG stream by reseed-and-fast-forward.
+	lossSeed  int64
+	lossDraws uint64
+	// counterArena chunk-allocates Counter values so a 12k-AS run's
+	// hundreds of thousands of interface counters cost one allocation per
+	// chunk instead of one each.
+	counterArena []Counter
+	// delPool recycles delivery events; sync.Pool because deliveries
+	// complete on parallel workers.
+	delPool sync.Pool
 	// sharded enables per-AS actor partitioning: each registered AS gets
 	// a simulator shard, deliveries are sharded by destination, and all
 	// shared-state mutations (counters, RNG draws, scheduling) are
@@ -133,13 +146,18 @@ func (n *Network) LinkLoss(id topology.LinkID) float64 { return n.loss[id] }
 // SeedLoss reseeds the gray-failure randomness. Call it before the run
 // when drop decisions must be reproducible under a chosen seed; without
 // it the network uses a fixed default seed.
-func (n *Network) SeedLoss(seed int64) { n.lossRNG = rand.New(rand.NewSource(seed)) }
+func (n *Network) SeedLoss(seed int64) {
+	n.lossRNG = rand.New(rand.NewSource(seed))
+	n.lossSeed = seed
+	n.lossDraws = 0
+}
 
 // dropByLoss makes one gray-failure drop decision.
 func (n *Network) dropByLoss(rate float64) bool {
 	if n.lossRNG == nil {
-		n.lossRNG = rand.New(rand.NewSource(1))
+		n.SeedLoss(1)
 	}
+	n.lossDraws++
 	return n.lossRNG.Float64() < rate
 }
 
@@ -170,12 +188,18 @@ func (n *Network) EnableSharding() {
 // an AS's periodic work on its own actor.
 func (n *Network) Shard(ia addr.IA) uint32 { return n.shards[ia] }
 
-// Register installs the message handler for ia, replacing any previous one.
+// Register installs the message handler for ia, replacing any previous
+// one. Under sharding the AS's link degree becomes its shard weight, so
+// parallel segments schedule high-degree (expensive) actors first.
 func (n *Network) Register(ia addr.IA, h Handler) {
 	n.handlers[ia] = h
 	if n.sharded {
 		if _, ok := n.shards[ia]; !ok {
-			n.shards[ia] = n.Sim.NewShard()
+			sh := n.Sim.NewShard()
+			n.shards[ia] = sh
+			if as := n.Topo.AS(ia); as != nil {
+				n.Sim.SetShardWeight(sh, uint32(as.Degree()))
+			}
 		}
 	}
 }
@@ -184,7 +208,11 @@ func (n *Network) Register(ia addr.IA, h Handler) {
 func (n *Network) counter(k IfKey) *Counter {
 	c := n.counters[k]
 	if c == nil {
-		c = &Counter{}
+		if len(n.counterArena) == 0 {
+			n.counterArena = make([]Counter, 256)
+		}
+		c = &n.counterArena[0]
+		n.counterArena = n.counterArena[1:]
 		n.counters[k] = c
 	}
 	return c
@@ -204,10 +232,21 @@ func (n *Network) Send(from addr.IA, link *topology.Link, msg Message) {
 		panic(fmt.Sprintf("sim: %s sending on foreign link %s", from, link))
 	}
 	if n.sharded && n.Sim.inPar {
-		n.Sim.deferOp(n.shards[from], func() { n.send(from, link, msg) })
+		n.Sim.deferOp(n.shards[from], op{kind: opSend, net: n, from: from, link: link, msg: msg})
 		return
 	}
 	n.send(from, link, msg)
+}
+
+// delivery is one in-flight message, pooled so large runs schedule
+// millions of deliveries without per-message closure allocations.
+type delivery struct {
+	net      *Network
+	from, to addr.IA
+	remoteIf addr.IfID
+	link     *topology.Link
+	msg      Message
+	size     int32
 }
 
 // send performs the transmission; it must run in serial context.
@@ -225,10 +264,21 @@ func (n *Network) send(from addr.IA, link *topology.Link, msg Message) {
 	tx.TxBytes += uint64(size)
 	tx.TxMsgs++
 	to := link.Other(from)
-	remoteIf := link.RemoteIf(from)
-	n.Sim.ScheduleShard(n.shards[to], n.LinkDelay(link.ID), func() {
-		n.deliver(from, to, remoteIf, link, msg, size)
-	})
+	d, _ := n.delPool.Get().(*delivery)
+	if d == nil {
+		d = &delivery{}
+	}
+	*d = delivery{net: n, from: from, to: to, remoteIf: link.RemoteIf(from), link: link, msg: msg, size: int32(size)}
+	n.Sim.pushDelivery(n.shards[to], n.Sim.Now()+Time(n.LinkDelay(link.ID)), d)
+}
+
+// runDelivery delivers d and returns it to the pool. The struct is done
+// the moment deliver returns: handlers retain the message contents at
+// most, never the delivery itself.
+func (n *Network) runDelivery(d *delivery) {
+	n.deliver(d.from, d.to, d.remoteIf, d.link, d.msg, int(d.size))
+	*d = delivery{}
+	n.delPool.Put(d)
 }
 
 // deliver runs at the destination — on a parallel worker when the
@@ -237,20 +287,18 @@ func (n *Network) send(from addr.IA, link *topology.Link, msg Message) {
 // deferred to the commit phase.
 func (n *Network) deliver(from, to addr.IA, remoteIf addr.IfID, link *topology.Link, msg Message, size int) {
 	inPar := n.Sim.inPar
-	rx := func() {
-		c := n.counter(IfKey{IA: to, If: remoteIf})
+	key := IfKey{IA: to, If: remoteIf}
+	if inPar {
+		n.Sim.deferOp(n.shards[to], op{kind: opRx, net: n, key: key, size: int32(size)})
+	} else {
+		c := n.counter(key)
 		c.RxBytes += uint64(size)
 		c.RxMsgs++
-	}
-	if inPar {
-		n.Sim.deferOp(n.shards[to], rx)
-	} else {
-		rx()
 	}
 	h := n.handlers[to]
 	if h == nil {
 		if inPar {
-			n.Sim.deferOp(n.shards[to], func() { n.Dropped++ })
+			n.Sim.deferOp(n.shards[to], op{kind: opDrop, net: n})
 		} else {
 			n.Dropped++
 		}
@@ -347,4 +395,80 @@ func (n *Network) ResetCounters() {
 	n.Dropped = 0
 	n.DroppedOnFailedLinks = 0
 	n.DroppedByLoss = 0
+}
+
+// NetworkState is the shared network state a checkpoint must carry:
+// per-interface traffic counters, link fault state, and the gray-loss
+// RNG position (seed plus draw count, restored by reseed-and-fast-
+// forward so post-resume drop decisions replay the original stream).
+type NetworkState struct {
+	Counters map[IfKey]Counter
+	Failed   []topology.LinkID
+	Delays   map[topology.LinkID]time.Duration
+	Loss     map[topology.LinkID]float64
+
+	LossSeeded bool
+	LossSeed   int64
+	LossDraws  uint64
+
+	Dropped              uint64
+	DroppedOnFailedLinks uint64
+	DroppedByLoss        uint64
+}
+
+// CheckpointState captures the network's shared state. Call from serial
+// context (e.g. a BeforeStep hook).
+func (n *Network) CheckpointState() NetworkState {
+	st := NetworkState{
+		Counters:             make(map[IfKey]Counter, len(n.counters)),
+		Failed:               make([]topology.LinkID, 0, len(n.failed)),
+		Delays:               make(map[topology.LinkID]time.Duration, len(n.delays)),
+		Loss:                 make(map[topology.LinkID]float64, len(n.loss)),
+		LossSeeded:           n.lossRNG != nil,
+		LossSeed:             n.lossSeed,
+		LossDraws:            n.lossDraws,
+		Dropped:              n.Dropped,
+		DroppedOnFailedLinks: n.DroppedOnFailedLinks,
+		DroppedByLoss:        n.DroppedByLoss,
+	}
+	for k, c := range n.counters {
+		st.Counters[k] = *c
+	}
+	for id := range n.failed {
+		st.Failed = append(st.Failed, id)
+	}
+	for id, d := range n.delays {
+		st.Delays[id] = d
+	}
+	for id, r := range n.loss {
+		st.Loss[id] = r
+	}
+	return st
+}
+
+// RestoreState applies a checkpointed NetworkState to a freshly built
+// Network over the same topology. Call before the resumed run starts.
+func (n *Network) RestoreState(st NetworkState) {
+	for k, c := range st.Counters {
+		*n.counter(k) = c
+	}
+	for _, id := range st.Failed {
+		n.failed[id] = true
+	}
+	for id, d := range st.Delays {
+		n.delays[id] = d
+	}
+	for id, r := range st.Loss {
+		n.loss[id] = r
+	}
+	if st.LossSeeded {
+		n.SeedLoss(st.LossSeed)
+		for i := uint64(0); i < st.LossDraws; i++ {
+			n.lossRNG.Float64()
+		}
+		n.lossDraws = st.LossDraws
+	}
+	n.Dropped = st.Dropped
+	n.DroppedOnFailedLinks = st.DroppedOnFailedLinks
+	n.DroppedByLoss = st.DroppedByLoss
 }

@@ -63,7 +63,7 @@ func TestShardFIFOAndSerialBarrier(t *testing.T) {
 // segment.
 func (s *Simulator) appendOrdered(order *[]int, id int, shard uint32) {
 	if s.inPar {
-		s.deferOp(shard, func() { *order = append(*order, id) })
+		s.deferOp(shard, op{kind: opFunc, fn: func() { *order = append(*order, id) }})
 		return
 	}
 	*order = append(*order, id)

@@ -36,18 +36,20 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scionmpr/internal/addr"
 	"scionmpr/internal/telemetry"
+	"scionmpr/internal/topology"
 )
 
 // Time is virtual simulation time measured as a duration since simulation
@@ -65,25 +67,75 @@ type event struct {
 	seq   uint64 // tie-breaker: FIFO among same-time events
 	shard uint32 // SerialShard, or an actor shard from NewShard
 	fn    func()
+	// del, when non-nil, is a pooled network delivery executed instead of
+	// fn — the bulk of large-run events, kept off the allocator entirely.
+	del *delivery
 }
 
+// run executes the event's payload.
+func (e *event) run() {
+	if e.del != nil {
+		d := e.del
+		e.del = nil
+		d.net.runDelivery(d)
+		return
+	}
+	e.fn()
+}
+
+// eventHeap is a hand-rolled binary min-heap over (at, seq). The
+// container/heap interface boxes every pushed event into an interface
+// value — one heap allocation per scheduled event, the second-largest
+// allocator in beaconing profiles — so the sift loops live here instead.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	// Sift up.
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{} // release fn/del references
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }
 
 // shardGroup is the per-shard slice of a parallel segment: indices into
@@ -91,6 +143,50 @@ func (h *eventHeap) Pop() interface{} {
 type shardGroup struct {
 	shard uint32
 	evs   []int32
+}
+
+// op is one deferred cross-shard effect, recorded while a sharded event
+// runs on a parallel worker and replayed at commit in sequence order.
+// The hot effects — network sends, RX accounting, drop counts — are
+// typed so deferring them appends to a reused slice instead of
+// allocating a closure per message; everything else goes through fn.
+type op struct {
+	kind  uint8
+	shard uint32         // opPush: target shard
+	at    Time           // opPush: absolute time
+	fn    func()         // opPush, opFunc: payload
+	net   *Network       // opSend, opRx, opDrop
+	from  addr.IA        // opSend
+	link  *topology.Link // opSend
+	msg   Message        // opSend
+	key   IfKey          // opRx
+	size  int32          // opRx
+}
+
+const (
+	opFunc uint8 = iota // run fn
+	opPush              // schedule fn at (shard, at)
+	opSend              // transmit msg from from over link
+	opRx                // count size received bytes on key
+	opDrop              // count one no-handler drop
+)
+
+// apply replays the effect in serial context.
+func (o *op) apply(s *Simulator) {
+	switch o.kind {
+	case opFunc:
+		o.fn()
+	case opPush:
+		s.push(o.shard, o.at, o.fn)
+	case opSend:
+		o.net.send(o.from, o.link, o.msg)
+	case opRx:
+		c := o.net.counter(o.key)
+		c.RxBytes += uint64(o.size)
+		c.RxMsgs++
+	case opDrop:
+		o.net.Dropped++
+	}
 }
 
 // Simulator owns the virtual clock and the pending event set. The zero
@@ -114,11 +210,17 @@ type Simulator struct {
 	inPar bool
 	// ops holds the deferred cross-shard effects of the segment currently
 	// executing, one list per event (indexed like the segment slice).
-	ops [][]func()
+	ops [][]op
 	// frames maps shard -> index of that shard's currently executing
 	// event in the segment (-1 outside segments). Each entry is written
 	// only by the worker owning the shard.
 	frames []int32
+	// weights holds optional static per-shard costs (e.g. AS degree), set
+	// via SetShardWeight. Parallel segments hand groups to workers in
+	// descending (event count, weight) order — longest-processing-time
+	// first — so one heavyweight actor shard no longer straggles behind
+	// an otherwise idle pool.
+	weights []uint32
 
 	// tracer, when set, receives structured telemetry events via Trace.
 	// traces stages parallel-phase emissions per event (indexed like the
@@ -130,6 +232,22 @@ type Simulator struct {
 	// on the worker pool — a scheduler-shape observable that depends on
 	// the worker count (volatile telemetry, never fingerprinted).
 	parSegments, parEvents uint64
+	// groupHist buckets per-shard event counts of parallel segments by
+	// floor(log2(count)) — the shard-occupancy imbalance observable.
+	// Scheduler-shape: volatile telemetry, never fingerprinted.
+	groupHist *telemetry.Histogram
+	// maxGroupEvents is the largest single-shard event count seen in any
+	// parallel segment (volatile).
+	maxGroupEvents uint64
+
+	// beforeStep, when set, runs in serial context every time the clock
+	// is about to advance to a new timestamp, before any event at that
+	// timestamp executes. It consumes no sequence numbers and is not
+	// counted in Executed, so hooking a run (e.g. to checkpoint it) does
+	// not perturb its observables.
+	beforeStep func(t Time)
+	steppedAt  Time
+	stepped    bool
 
 	// Scratch buffers reused across batches to keep the hot loop
 	// allocation-free.
@@ -190,7 +308,83 @@ func (s *Simulator) SetTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sim_events_pending", func() float64 { return float64(len(s.events)) })
 	reg.VolatileGaugeFunc("sim_parallel_segments", func() float64 { return float64(s.parSegments) })
 	reg.VolatileGaugeFunc("sim_parallel_events", func() float64 { return float64(s.parEvents) })
+	// Per-shard occupancy of parallel segments: how many events one shard
+	// contributed to one segment. A long tail here is actor-shard
+	// imbalance — a few high-degree ASes receiving most deliveries.
+	s.groupHist = reg.VolatileHistogram("sim_shard_segment_events", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	reg.VolatileGaugeFunc("sim_shard_segment_events_max", func() float64 { return float64(s.maxGroupEvents) })
 }
+
+// SetShardWeight records a static cost estimate for a shard (e.g. the
+// AS's link degree). Weights only order group pickup inside parallel
+// segments (heaviest first); they never affect observables. Call during
+// setup, after NewShard.
+func (s *Simulator) SetShardWeight(shard uint32, w uint32) {
+	if int(shard) >= len(s.weights) {
+		grown := make([]uint32, shard+1)
+		copy(grown, s.weights)
+		s.weights = grown
+	}
+	s.weights[shard] = w
+}
+
+// shardWeight returns the static weight of a shard (0 when unset).
+func (s *Simulator) shardWeight(shard uint32) uint32 {
+	if int(shard) < len(s.weights) {
+		return s.weights[shard]
+	}
+	return 0
+}
+
+// BeforeStep registers fn to run, in serial context, whenever the clock
+// is about to advance to a new timestamp — before any event at that
+// timestamp executes. The hook consumes no sequence numbers and does not
+// count toward Executed, so it can observe (e.g. checkpoint) a run
+// without changing any of its deterministic observables. One hook may be
+// registered; nil clears it.
+func (s *Simulator) BeforeStep(fn func(t Time)) {
+	s.beforeStep = fn
+	s.stepped = false
+}
+
+// step fires the BeforeStep hook once per distinct timestamp.
+func (s *Simulator) step(t Time) {
+	if s.beforeStep == nil || (s.stepped && s.steppedAt == t) {
+		return
+	}
+	s.steppedAt, s.stepped = t, true
+	s.beforeStep(t)
+}
+
+// Restore prepares a simulator to resume a checkpointed run: the clock
+// opens at now and Executed continues from executed, so a resumed run
+// finishes with the same Executed count as an uninterrupted one. Call
+// before scheduling any events.
+func (s *Simulator) Restore(now Time, executed uint64) {
+	if len(s.events) > 0 {
+		panic("sim: Restore with events already scheduled")
+	}
+	s.now = now
+	s.Executed = executed
+}
+
+// Checkpoint is the simulator core's own snapshot. Pending events are
+// closures and deliberately not part of it: layers above (the beacon
+// runner) re-create their event population on resume, which is also what
+// keeps the format small and version-stable.
+type Checkpoint struct {
+	Now      Time
+	Executed uint64
+}
+
+// Checkpoint captures the simulator core's state. Take it from a
+// BeforeStep hook so no same-timestamp event has partially executed.
+func (s *Simulator) Checkpoint() Checkpoint {
+	return Checkpoint{Now: s.now, Executed: s.Executed}
+}
+
+// Resume is Restore from a Checkpoint.
+func (s *Simulator) Resume(c Checkpoint) { s.Restore(c.Now, c.Executed) }
 
 // SetWorkers sets the parallel worker count: 1 forces sequential
 // execution, n > 1 runs same-timestamp sharded events on up to n
@@ -257,7 +451,7 @@ func (s *Simulator) AtShard(shard uint32, t Time, fn func()) {
 	if s.inPar {
 		// Called from inside a parallel segment: defer the push so the
 		// sequence number is assigned in deterministic commit order.
-		s.deferOp(shard, func() { s.push(shard, t, fn) })
+		s.deferOp(shard, op{kind: opPush, shard: shard, at: t, fn: fn})
 		return
 	}
 	s.push(shard, t, fn)
@@ -268,15 +462,24 @@ func (s *Simulator) push(shard uint32, t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, shard: shard, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, shard: shard, fn: fn})
 }
 
-// deferOp appends op to the effect list of the event currently executing
+// pushDelivery schedules a pooled network delivery (see Network.send).
+func (s *Simulator) pushDelivery(shard uint32, t Time, d *delivery) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, shard: shard, del: d})
+}
+
+// deferOp appends o to the effect list of the event currently executing
 // on the caller's shard. It panics when the shard has no executing event
 // in this segment — i.e. when code running as one actor tries to produce
 // side effects attributed to another, which would be a nondeterministic
 // cross-shard mutation.
-func (s *Simulator) deferOp(shard uint32, op func()) {
+func (s *Simulator) deferOp(shard uint32, o op) {
 	idx := int32(-1)
 	if int(shard) < len(s.frames) {
 		idx = s.frames[shard]
@@ -285,7 +488,7 @@ func (s *Simulator) deferOp(shard uint32, op func()) {
 		panic("sim: cross-shard side effect from parallel execution: " +
 			"schedule and send only as the executing actor (shard-aware APIs), or from serial events")
 	}
-	s.ops[idx] = append(s.ops[idx], op)
+	s.ops[idx] = append(s.ops[idx], o)
 }
 
 // Every schedules fn at start and then every interval until the simulator
@@ -332,10 +535,11 @@ func (s *Simulator) Run() Time {
 		return s.now
 	}
 	for len(s.events) > 0 && !s.stopped.Load() {
-		e := heap.Pop(&s.events).(event)
+		s.step(s.events[0].at)
+		e := s.events.pop()
 		s.now = e.at
 		s.Executed++
-		e.fn()
+		e.run()
 	}
 	return s.now
 }
@@ -350,10 +554,11 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 			if s.events[0].at > deadline {
 				break
 			}
-			e := heap.Pop(&s.events).(event)
+			s.step(s.events[0].at)
+			e := s.events.pop()
 			s.now = e.at
 			s.Executed++
-			e.fn()
+			e.run()
 		}
 	}
 	if s.now < deadline {
@@ -373,10 +578,11 @@ func (s *Simulator) runBatches(deadline Time) {
 		if t > deadline {
 			return
 		}
+		s.step(t)
 		s.now = t
 		batch := s.batch[:0]
 		for len(s.events) > 0 && s.events[0].at == t {
-			batch = append(batch, heap.Pop(&s.events).(event))
+			batch = append(batch, s.events.pop())
 		}
 		s.runSegments(batch)
 		clear(batch) // release fn references
@@ -395,13 +601,13 @@ func (s *Simulator) runSegments(batch []event) {
 	for i < len(batch) {
 		if s.stopped.Load() {
 			for _, e := range batch[i:] {
-				heap.Push(&s.events, e)
+				s.events.push(e)
 			}
 			return
 		}
 		if batch[i].shard == SerialShard {
 			s.Executed++
-			batch[i].fn()
+			batch[i].run()
 			i++
 			continue
 		}
@@ -452,14 +658,33 @@ func (s *Simulator) runParallel(evs []event) {
 		}
 		for k := range evs {
 			s.Executed++
-			evs[k].fn()
+			evs[k].run()
 		}
 		return
 	}
 
+	// Observe shard occupancy (volatile): the histogram of per-shard
+	// event counts in this segment exposes actor imbalance.
+	if s.groupHist != nil {
+		for gi := range groups {
+			n := uint64(len(groups[gi].evs))
+			s.groupHist.Observe(float64(n))
+			if n > s.maxGroupEvents {
+				s.maxGroupEvents = n
+			}
+		}
+	}
+
+	// Hand groups to workers heaviest-first (longest processing time
+	// first): primary key is the group's event count, tie-broken by the
+	// shard's static weight (AS degree — a one-event tick of a hub AS
+	// costs more than a stub's). Group order never affects observables;
+	// commits below replay effects in sequence order regardless.
+	OrderGroups(groups, s.shardWeight)
+
 	// Per-event effect and staged-trace lists, and shard execution frames.
 	if cap(s.ops) < len(evs) {
-		s.ops = make([][]func(), len(evs))
+		s.ops = make([][]op, len(evs))
 	}
 	s.ops = s.ops[:len(evs)]
 	if cap(s.traces) < len(evs) {
@@ -506,7 +731,7 @@ func (s *Simulator) runParallel(evs []event) {
 				g := &groups[gi]
 				for _, idx := range g.evs {
 					s.frames[g.shard] = idx
-					evs[idx].fn()
+					evs[idx].run()
 				}
 			}
 		}()
@@ -529,11 +754,12 @@ func (s *Simulator) runParallel(evs []event) {
 		}
 		clear(s.traces[idx])
 		s.traces[idx] = s.traces[idx][:0]
-		for _, op := range s.ops[idx] {
-			op()
+		l := s.ops[idx]
+		for i := range l {
+			l[i].apply(s)
 		}
-		clear(s.ops[idx])
-		s.ops[idx] = s.ops[idx][:0]
+		clear(l)
+		s.ops[idx] = l[:0]
 	}
 
 	// Reset shard frames and group scratch for the next segment.
@@ -541,6 +767,50 @@ func (s *Simulator) runParallel(evs []event) {
 		s.frames[groups[gi].shard] = -1
 		delete(s.groupOf, groups[gi].shard)
 	}
+}
+
+// OrderGroups arranges a segment's shard groups in worker pickup order:
+// descending event count, then descending static shard weight, then
+// ascending shard id (a deterministic tiebreak). This is the classic LPT
+// (longest processing time first) heuristic for minimizing makespan on
+// identical workers; weight supplies the cost estimate when event counts
+// tie, which they almost always do in tick segments (one tick per AS).
+func OrderGroups(groups []shardGroup, weight func(uint32) uint32) {
+	slices.SortFunc(groups, func(a, b shardGroup) int {
+		if len(a.evs) != len(b.evs) {
+			return len(b.evs) - len(a.evs)
+		}
+		wa, wb := weight(a.shard), weight(b.shard)
+		if wa != wb {
+			if wb > wa {
+				return 1
+			}
+			return -1
+		}
+		if a.shard < b.shard {
+			return -1
+		}
+		if a.shard > b.shard {
+			return 1
+		}
+		return 0
+	})
+}
+
+// PendingDeliveries counts queued events that are in-flight network
+// deliveries. Deliveries are the one event class a checkpoint cannot
+// reconstruct from configuration (their payloads are live messages), so
+// checkpointing layers assert this is zero at their capture points —
+// which it is at beaconing-interval boundaries, where every delivery of
+// the previous interval has long landed.
+func (s *Simulator) PendingDeliveries() int {
+	n := 0
+	for i := range s.events {
+		if s.events[i].del != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Stop halts Run/RunUntil after the current event (sequential mode) or

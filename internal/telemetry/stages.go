@@ -8,9 +8,9 @@ import (
 )
 
 // Stages times named sequential phases of a run, recording wall-clock
-// duration and allocation delta per stage. It replaces ad-hoc
-// time.Now() stage prints in the experiment drivers. Measurements are
-// wall-clock — inherently nondeterministic — so when a Registry is
+// duration, allocation delta, and GC pressure per stage. It replaces
+// ad-hoc time.Now() stage prints in the experiment drivers. Measurements
+// are wall-clock — inherently nondeterministic — so when a Registry is
 // attached they are recorded as volatile gauges, excluded from the
 // deterministic snapshot. A nil *Stages is a no-op.
 type Stages struct {
@@ -18,9 +18,9 @@ type Stages struct {
 	out   io.Writer // optional live log (e.g. os.Stderr); may be nil
 	label string    // log line prefix, e.g. "fig5"
 
-	last      time.Time
-	lastAlloc uint64
-	Stages    []Stage
+	last    time.Time
+	lastMem runtime.MemStats
+	Stages  []Stage
 }
 
 // Stage is one completed measurement.
@@ -28,20 +28,20 @@ type Stage struct {
 	Name  string
 	Wall  time.Duration
 	Alloc uint64 // bytes allocated during the stage (monotonic TotalAlloc delta)
+	// GC/heap pressure sampled from runtime.MemStats at stage end — the
+	// scaling runs watch these to catch stages whose live heap or pause
+	// budget grows faster than the topology.
+	HeapAlloc  uint64        // live heap bytes at stage end
+	NumGC      uint32        // GC cycles completed during the stage
+	PauseTotal time.Duration // stop-the-world pause time accrued during the stage
 }
 
 // NewStages starts a stage clock. reg and out may each be nil.
 func NewStages(reg *Registry, out io.Writer, label string) *Stages {
 	s := &Stages{reg: reg, out: out, label: label}
 	s.last = time.Now()
-	s.lastAlloc = totalAlloc()
+	runtime.ReadMemStats(&s.lastMem)
 	return s
-}
-
-func totalAlloc() uint64 {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.TotalAlloc
 }
 
 // Done closes the current stage under the given name and starts the
@@ -51,16 +51,29 @@ func (s *Stages) Done(name string) {
 		return
 	}
 	now := time.Now()
-	alloc := totalAlloc()
-	st := Stage{Name: name, Wall: now.Sub(s.last), Alloc: alloc - s.lastAlloc}
-	s.last, s.lastAlloc = now, alloc
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := Stage{
+		Name:       name,
+		Wall:       now.Sub(s.last),
+		Alloc:      ms.TotalAlloc - s.lastMem.TotalAlloc,
+		HeapAlloc:  ms.HeapAlloc,
+		NumGC:      ms.NumGC - s.lastMem.NumGC,
+		PauseTotal: time.Duration(ms.PauseTotalNs - s.lastMem.PauseTotalNs),
+	}
+	s.last, s.lastMem = now, ms
 	s.Stages = append(s.Stages, st)
 	if s.reg != nil {
 		s.reg.VolatileGauge(fmt.Sprintf("stage_wall_seconds{stage=%q}", name)).Set(st.Wall.Seconds())
 		s.reg.VolatileGauge(fmt.Sprintf("stage_alloc_bytes{stage=%q}", name)).Set(float64(st.Alloc))
+		s.reg.VolatileGauge(fmt.Sprintf("stage_heap_alloc_bytes{stage=%q}", name)).Set(float64(st.HeapAlloc))
+		s.reg.VolatileGauge(fmt.Sprintf("stage_gc_cycles{stage=%q}", name)).Set(float64(st.NumGC))
+		s.reg.VolatileGauge(fmt.Sprintf("stage_gc_pause_seconds{stage=%q}", name)).Set(st.PauseTotal.Seconds())
 	}
 	if s.out != nil {
-		fmt.Fprintf(s.out, "[%s] %-14s %v (%.1f MB alloc)\n",
-			s.label, name, st.Wall.Round(time.Millisecond), float64(st.Alloc)/(1<<20))
+		fmt.Fprintf(s.out, "[%s] %-14s %v (%.1f MB alloc, %.1f MB heap, %d GCs, %v pause)\n",
+			s.label, name, st.Wall.Round(time.Millisecond),
+			float64(st.Alloc)/(1<<20), float64(st.HeapAlloc)/(1<<20),
+			st.NumGC, st.PauseTotal.Round(time.Microsecond))
 	}
 }

@@ -113,17 +113,40 @@ type AS struct {
 	Links []*Link
 
 	nextIf addr.IfID
+	// neighbors caches the sorted distinct-neighbor list (nil =
+	// recompute); invalidated by Connect. Beacon servers and shard-weight
+	// assignment ask for it per AS, so rebuilding it on every call showed
+	// up in large-topology profiles.
+	neighbors []addr.IA
 }
 
 // Degree is the number of neighboring ASes (not links; parallel links to
 // the same neighbor count once). The paper's core extraction prunes by
 // this AS-level degree.
 func (a *AS) Degree() int {
-	seen := map[addr.IA]struct{}{}
-	for _, l := range a.Links {
-		seen[l.Other(a.IA)] = struct{}{}
+	return len(a.neighborList())
+}
+
+// neighborList returns (building if needed) the cached sorted neighbor
+// list.
+func (a *AS) neighborList() []addr.IA {
+	if a.neighbors == nil {
+		out := make([]addr.IA, 0, len(a.Links))
+		for _, l := range a.Links {
+			out = append(out, l.Other(a.IA))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		// Compact duplicates (parallel links) in place.
+		j := 0
+		for i, ia := range out {
+			if i == 0 || ia != out[j-1] {
+				out[j] = ia
+				j++
+			}
+		}
+		a.neighbors = out[:j]
 	}
-	return len(seen)
+	return a.neighbors
 }
 
 // Graph is the mutable AS-level topology.
@@ -177,6 +200,7 @@ func (g *Graph) Connect(a, b addr.IA, rel Rel) (*Link, error) {
 	asB.nextIf++
 	asA.Links = append(asA.Links, l)
 	asB.Links = append(asB.Links, l)
+	asA.neighbors, asB.neighbors = nil, nil
 	g.Links = append(g.Links, l)
 	return l, nil
 }
@@ -214,23 +238,15 @@ func (g *Graph) CoreIAs() []addr.IA {
 	return out
 }
 
-// Neighbors returns the distinct neighboring IAs of ia in deterministic order.
+// Neighbors returns the distinct neighboring IAs of ia in deterministic
+// order. The returned slice is the shared cache (valid until the next
+// Connect touching ia); callers must not modify it.
 func (g *Graph) Neighbors(ia addr.IA) []addr.IA {
 	as := g.ASes[ia]
 	if as == nil {
 		return nil
 	}
-	seen := map[addr.IA]struct{}{}
-	var out []addr.IA
-	for _, l := range as.Links {
-		o := l.Other(ia)
-		if _, ok := seen[o]; !ok {
-			seen[o] = struct{}{}
-			out = append(out, o)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return as.neighborList()
 }
 
 // LinksBetween returns all parallel links between a and b.

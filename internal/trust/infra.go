@@ -129,7 +129,8 @@ func NewInfra(topo *topology.Graph, mode Mode) (*Infra, error) {
 func (inf *Infra) addAS(ia addr.IA) error {
 	// Derived once here: border routers read this key on every hop-field
 	// MAC, which dominates the data-plane hot path under load.
-	fh := sha512.Sum384([]byte(fmt.Sprintf("scionmpr-fwd-%s", ia)))
+	var kb [40]byte
+	fh := sha512.Sum384(ia.AppendFormat(append(kb[:0], "scionmpr-fwd-"...)))
 	inf.fwdKeys[ia] = fh[:32]
 	switch inf.mode {
 	case ECDSA:
@@ -141,7 +142,7 @@ func (inf *Infra) addAS(ia addr.IA) error {
 		inf.pubs[ia] = s.Public()
 	default:
 		// Per-AS secret derived from the IA; deterministic across runs.
-		h := sha512.Sum384([]byte(fmt.Sprintf("scionmpr-sized-%s", ia)))
+		h := sha512.Sum384(ia.AppendFormat(append(kb[:0], "scionmpr-sized-"...)))
 		secret := h[:]
 		inf.secrets[ia] = secret
 		inf.signers[ia] = &SizedSigner{ia: ia, secret: secret}

@@ -37,6 +37,17 @@ type Signer interface {
 	Sign(msg []byte) ([]byte, error)
 }
 
+// AppendSigner is implemented by signers that can append the signature to
+// a caller-provided buffer. Beaconing signs one message per extension;
+// reusing recycled signature buffers keeps the steady-state hot path off
+// the allocator entirely.
+type AppendSigner interface {
+	Signer
+	// AppendSign appends a SignatureLen-byte signature over msg to dst
+	// and returns the extended buffer.
+	AppendSign(dst, msg []byte) ([]byte, error)
+}
+
 // Verifier checks a signature allegedly produced by ia over msg.
 type Verifier interface {
 	Verify(ia addr.IA, msg, sig []byte) error
@@ -95,6 +106,11 @@ type SizedSigner struct {
 	ia     addr.IA
 	secret []byte
 	mac    hash.Hash
+	// block is the MAC expansion scratch. Passing a local array into the
+	// hash.Hash interface makes it escape, costing one heap allocation
+	// per signature; keeping it on the signer (single-owner, see above)
+	// keeps AppendSign allocation-free.
+	block [sha256.Size + 1]byte
 }
 
 // IA implements Signer.
@@ -105,30 +121,40 @@ func (s *SizedSigner) Sign(msg []byte) ([]byte, error) {
 	if s.mac == nil {
 		s.mac = hmac.New(sha256.New, s.secret)
 	}
-	return appendSizedMAC(s.mac, msg), nil
+	return appendSizedMACTo(make([]byte, 0, SignatureLen), s.mac, msg, &s.block), nil
+}
+
+// AppendSign implements AppendSigner, writing the signature into dst's
+// spare capacity when it has any.
+func (s *SizedSigner) AppendSign(dst, msg []byte) ([]byte, error) {
+	if s.mac == nil {
+		s.mac = hmac.New(sha256.New, s.secret)
+	}
+	return appendSizedMACTo(dst, s.mac, msg, &s.block), nil
 }
 
 // sizedMAC is the stateless form used by verification, which may run
 // concurrently against a shared Infra.
 func sizedMAC(secret, msg []byte) []byte {
-	return appendSizedMAC(hmac.New(sha256.New, secret), msg)
+	var block [sha256.Size + 1]byte
+	return appendSizedMACTo(make([]byte, 0, SignatureLen), hmac.New(sha256.New, secret), msg, &block)
 }
 
-// appendSizedMAC expands the keyed MAC to SignatureLen bytes: one keyed
-// pass over the message yields a pseudorandom key, expanded HKDF-style
-// with short fixed-size hashes. Signing therefore traverses msg exactly
-// once however many output blocks SignatureLen requires — beacon bodies
-// grow with the hop count, and this sits on the Extend hot path.
-func appendSizedMAC(m hash.Hash, msg []byte) []byte {
+// appendSizedMACTo expands the keyed MAC to SignatureLen bytes appended
+// to dst: one keyed pass over the message yields a pseudorandom key,
+// expanded HKDF-style with short fixed-size hashes. Signing therefore
+// traverses msg exactly once however many output blocks SignatureLen
+// requires — beacon bodies grow with the hop count, and this sits on the
+// Extend hot path.
+func appendSizedMACTo(dst []byte, m hash.Hash, msg []byte, block *[sha256.Size + 1]byte) []byte {
 	m.Reset()
 	m.Write(msg)
-	var block [sha256.Size + 1]byte
 	m.Sum(block[:0])
-	out := make([]byte, 0, SignatureLen)
-	for i := 0; len(out) < SignatureLen; i++ {
+	base := len(dst)
+	for i := 0; len(dst)-base < SignatureLen; i++ {
 		block[sha256.Size] = byte(i)
 		sum := sha256.Sum256(block[:])
-		out = append(out, sum[:]...)
+		dst = append(dst, sum[:]...)
 	}
-	return out[:SignatureLen]
+	return dst[:base+SignatureLen]
 }
