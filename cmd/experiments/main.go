@@ -18,6 +18,11 @@
 //	            availability and lookup cost under a rolling crash storm
 //	            plus a full blackout (WAL recovery, anti-entropy, client
 //	            failover with serve-stale), diversity vs baseline
+//	forward     extra: wire-format data plane — differential replay of
+//	            seeded traffic through the in-memory fabric and the
+//	            batched forwarding engine (fingerprints must match),
+//	            plus per-core forwarding throughput, batched vs
+//	            per-packet, MAC on/off
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -49,7 +54,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | failover | scionlab | convergence | ablation | gridsearch | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | failover | forward | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr  = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration  = flag.Duration("duration", 0, "override beaconing duration")
 		pairs     = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -244,6 +249,16 @@ func main() {
 	if want("failover") {
 		runOne("failover", func() error {
 			res, err := experiments.RunFailover(scale, experiments.DefaultFailoverConfig())
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("forward") {
+		runOne("forward", func() error {
+			res, err := experiments.RunForward(experiments.DefaultForwardConfig())
 			if err != nil {
 				return err
 			}

@@ -30,9 +30,37 @@ type env struct {
 	sim    *sim.Simulator
 	fabric *Fabric
 	paths  []*FwdPath // A-6 to A-4 candidates
+	run    *beacon.RunResult
 }
 
-func newEnv(t *testing.T) *env {
+// pathsBetween derives authorized forwarding paths src -> dst from the
+// beaconing run (up segments of src joined with down segments of dst
+// at the core A-2).
+func (e *env) pathsBetween(t testing.TB, src, dst addr.IA) []*FwdPath {
+	t.Helper()
+	term := func(origin, d addr.IA) []*seg.PCB {
+		var out []*seg.PCB
+		for _, ent := range e.run.Servers[d].Store().Entries(e.run.End, origin) {
+			tp, err := ent.PCB.Extend(e.infra.SignerFor(d), addr.IA{}, ent.Ingress, 0, nil, 1472)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tp)
+		}
+		return out
+	}
+	var fps []*FwdPath
+	for _, c := range combinator.AllPaths(term(a2, src), nil, term(a2, dst)) {
+		fp, err := Authorize(c, e.infra.ForwardingKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+	}
+	return fps
+}
+
+func newEnv(t testing.TB) *env {
 	t.Helper()
 	topo := topology.Demo()
 	infra, err := trust.NewInfra(topo, trust.Sized)
@@ -74,7 +102,7 @@ func newEnv(t *testing.T) *env {
 		}
 		fps = append(fps, fp)
 	}
-	return &env{topo: topo, infra: infra, sim: s, fabric: fab, paths: fps}
+	return &env{topo: topo, infra: infra, sim: s, fabric: fab, paths: fps, run: run}
 }
 
 func TestAuthorizeAndVerify(t *testing.T) {
@@ -279,7 +307,9 @@ func TestPacketWireLen(t *testing.T) {
 		Path:    e.paths[0],
 		Payload: make([]byte, 100),
 	}
-	want := 12 + 4 + 4 + 100 + e.paths[0].WireLen()
+	// Exact slayers encoding: common header, two IAs, two padded IPv4
+	// hosts, payload, path header.
+	want := 12 + 16 + 4 + 4 + 100 + e.paths[0].WireLen()
 	if got := pkt.WireLen(); got != want {
 		t.Errorf("WireLen = %d, want %d", got, want)
 	}

@@ -1,0 +1,389 @@
+package dataplane
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/chaos"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/slayers"
+	"scionmpr/internal/topology"
+)
+
+// The differential harness replays one seeded traffic trace through
+// the in-memory Fabric and through the wire-format Engine and demands
+// byte-identical run fingerprints: per-packet outcomes (delivered /
+// silently dropped / which SCMP came back) plus the full counter set.
+// Both planes share a pure per-packet loss function (HashLoss), and
+// faults fire only at quiescent group boundaries, so the fingerprint
+// is independent of packet interleaving — which is exactly what lets
+// the concurrent engine (workers 1 and 4) be compared bit-for-bit
+// against the serial fabric.
+
+// diffOutcome is the observable fate of one injected packet.
+type diffOutcome struct {
+	delivered bool
+	scmp      int8 // -1 = none
+	link      seg.LinkKey
+}
+
+// diffCounters is the plane-independent counter vector.
+type diffCounters struct {
+	Forwarded, Delivered, DroppedBadMAC, DroppedNoRoute uint64
+	DroppedTooBig, Revocations, DroppedGray             uint64
+}
+
+// diffPacket is one packet of the precomputed trace.
+type diffPacket struct {
+	flow    uint32
+	path    *FwdPath
+	src     addr.IA
+	payload int
+}
+
+// diffTrace is a deterministic function of the seed: groups of packets
+// spread over all pair paths, a few with tampered hop-field MACs, and
+// per-group fault actions quantized from a chaos schedule.
+type diffTrace struct {
+	groups  [][]diffPacket
+	actions [][]func(chaos.FaultTarget)
+}
+
+const (
+	diffGroups        = 12
+	diffFlowsPerGroup = 24
+)
+
+// buildDiffTrace assembles the trace over every beaconing-derived path
+// between the leaf ASes, with a chaos schedule (flap + gray windows on
+// path links) quantized to group boundaries.
+func buildDiffTrace(t testing.TB, e *env, seed int64) *diffTrace {
+	t.Helper()
+	var paths []*FwdPath
+	leaves := []addr.IA{a4, a5, a6}
+	for _, src := range leaves {
+		for _, dst := range leaves {
+			if src == dst {
+				continue
+			}
+			paths = append(paths, e.pathsBetween(t, src, dst)...)
+		}
+	}
+	if len(paths) < 4 {
+		t.Fatalf("only %d pair paths", len(paths))
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+
+	// Tampered variants: break the MAC of the last hop so the drop
+	// happens at a transit or destination router (never silently at the
+	// source), exercising the SCMP walk-back on both planes.
+	tampered := make([]*FwdPath, len(paths))
+	for i, p := range paths {
+		tp := &FwdPath{Hops: append([]HopField(nil), p.Hops...), MTU: p.MTU}
+		tp.Hops[len(tp.Hops)-1].MAC[0] ^= 0x5a
+		tampered[i] = tp
+	}
+
+	tr := &diffTrace{
+		groups:  make([][]diffPacket, diffGroups),
+		actions: make([][]func(chaos.FaultTarget), diffGroups+1),
+	}
+	flow := uint32(1)
+	for g := 0; g < diffGroups; g++ {
+		for k := 0; k < diffFlowsPerGroup; k++ {
+			pi := rng.Intn(len(paths))
+			p := paths[pi]
+			if rng.Intn(10) == 0 {
+				p = tampered[pi]
+			}
+			tr.groups[g] = append(tr.groups[g], diffPacket{
+				flow:    flow,
+				path:    p,
+				src:     p.Hops[0].Hop.IA,
+				payload: 16 + rng.Intn(256),
+			})
+			flow++
+		}
+	}
+
+	// Chaos schedule over the links the paths traverse (egress interface
+	// of every non-terminal hop), quantized so each event edge lands on
+	// a quiescent group boundary.
+	linkSet := map[topology.LinkID]bool{}
+	var links []topology.LinkID
+	for _, p := range paths {
+		for _, h := range p.Hops {
+			if h.Hop.Out == 0 {
+				continue
+			}
+			link := e.topo.LinkByIf(h.Hop.IA, h.Hop.Out)
+			if link == nil {
+				t.Fatalf("no link %s#%d", h.Hop.IA, h.Hop.Out)
+			}
+			if !linkSet[link.ID] {
+				linkSet[link.ID] = true
+				links = append(links, link.ID)
+			}
+		}
+	}
+	groupDur := time.Second
+	end := sim.Time(time.Duration(diffGroups) * groupDur)
+	sched := &chaos.Schedule{Seed: seed, End: end}
+	for i := 0; i < 3 && i < len(links); i++ {
+		at := time.Duration(rng.Intn(diffGroups-3)+1) * groupDur
+		down := time.Duration(rng.Intn(3)+1) * groupDur
+		sched.Events = append(sched.Events, chaos.Event{
+			Kind: chaos.Flap, Link: links[rng.Intn(len(links))],
+			At: sim.Time(at), Down: down,
+		})
+		gAt := time.Duration(rng.Intn(diffGroups-3)+1) * groupDur
+		gDown := time.Duration(rng.Intn(3)+1) * groupDur
+		sched.Events = append(sched.Events, chaos.Event{
+			Kind: chaos.Gray, Link: links[rng.Intn(len(links))],
+			At: sim.Time(gAt), Down: gDown,
+			Rate: 0.2 + 0.6*rng.Float64(),
+		})
+	}
+	for _, ev := range sched.Events {
+		id := ev.Link
+		gOn := int(time.Duration(ev.At) / groupDur)
+		gOff := gOn + int(ev.Down/groupDur)
+		if gOff > diffGroups {
+			gOff = diffGroups
+		}
+		switch ev.Kind {
+		case chaos.Flap:
+			tr.actions[gOn] = append(tr.actions[gOn], func(ft chaos.FaultTarget) { ft.FailLink(id) })
+			tr.actions[gOff] = append(tr.actions[gOff], func(ft chaos.FaultTarget) { ft.RestoreLink(id) })
+		case chaos.Gray:
+			rate := ev.Rate
+			tr.actions[gOn] = append(tr.actions[gOn], func(ft chaos.FaultTarget) { ft.SetLinkLoss(id, rate) })
+			tr.actions[gOff] = append(tr.actions[gOff], func(ft chaos.FaultTarget) { ft.SetLinkLoss(id, 0) })
+		}
+	}
+	return tr
+}
+
+// fingerprint canonicalizes outcomes + counters into a SHA-256 hex
+// digest, independent of the order packets finished in.
+func fingerprint(outcomes map[uint32]diffOutcome, c diffCounters) string {
+	flows := make([]uint32, 0, len(outcomes))
+	for f := range outcomes {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	h := sha256.New()
+	var buf [16]byte
+	for _, f := range flows {
+		o := outcomes[f]
+		binary.BigEndian.PutUint32(buf[0:4], f)
+		buf[4] = 0
+		if o.delivered {
+			buf[4] = 1
+		}
+		buf[5] = byte(o.scmp + 1)
+		binary.BigEndian.PutUint64(buf[6:14], o.link.IA.Uint64())
+		binary.BigEndian.PutUint16(buf[14:16], uint16(o.link.If))
+		h.Write(buf[:])
+	}
+	for _, v := range []uint64{
+		c.Forwarded, c.Delivered, c.DroppedBadMAC, c.DroppedNoRoute,
+		c.DroppedTooBig, c.Revocations, c.DroppedGray,
+	} {
+		binary.BigEndian.PutUint64(buf[0:8], v)
+		h.Write(buf[:8])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hostFor(ia addr.IA, flow uint32) addr.Host {
+	return addr.HostIP4(ia, 10, byte(flow>>16), byte(flow>>8), byte(flow))
+}
+
+func diffPacketFor(p diffPacket) *Packet {
+	dstIA := p.path.Hops[len(p.path.Hops)-1].Hop.IA
+	return &Packet{
+		Src:     hostFor(p.src, p.flow),
+		Dst:     hostFor(dstIA, p.flow),
+		Path:    p.path,
+		Payload: make([]byte, p.payload),
+		FlowID:  p.flow,
+	}
+}
+
+// runFabricTrace replays the trace through a fresh in-memory fabric.
+func runFabricTrace(t *testing.T, e *env, tr *diffTrace, seed uint64) string {
+	t.Helper()
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, e.topo, time.Millisecond)
+	fab := NewFabric(net, e.infra.ForwardingKey)
+	fab.LossFunc = HashLoss(seed)
+
+	outcomes := map[uint32]diffOutcome{}
+	for _, ia := range e.topo.IAs() {
+		fab.OnDeliver(ia, func(p *Packet) {
+			outcomes[p.FlowID] = diffOutcome{delivered: true, scmp: -1}
+		})
+		fab.OnSCMP(ia, func(m *SCMP) {
+			outcomes[m.Orig.FlowID] = diffOutcome{scmp: int8(m.Type), link: m.Link}
+		})
+	}
+	for g := 0; g < diffGroups; g++ {
+		for _, fn := range tr.actions[g] {
+			fn(fab)
+		}
+		for _, p := range tr.groups[g] {
+			pkt := diffPacketFor(p)
+			outcomes[p.flow] = diffOutcome{scmp: -1}
+			if err := fab.Inject(pkt); err != nil {
+				t.Fatalf("fabric inject flow %d: %v", p.flow, err)
+			}
+		}
+		s.Run() // quiesce before the next fault edge
+	}
+	return fingerprint(outcomes, diffCounters{
+		Forwarded: fab.Forwarded, Delivered: fab.Delivered,
+		DroppedBadMAC: fab.DroppedBadMAC, DroppedNoRoute: fab.DroppedNoRoute,
+		DroppedTooBig: fab.DroppedTooBig, Revocations: fab.Revocations,
+		DroppedGray: fab.DroppedGray,
+	})
+}
+
+// runEngineTrace replays the trace through a fresh wire engine.
+func runEngineTrace(t *testing.T, e *env, tr *diffTrace, seed uint64, workers int) string {
+	t.Helper()
+	eng := NewEngine(e.topo, e.infra.ForwardingKey)
+	eng.Workers = workers
+	eng.LossFunc = HashLoss(seed)
+
+	var mu sync.Mutex
+	outcomes := map[uint32]diffOutcome{}
+	for _, ia := range e.topo.IAs() {
+		eng.OnDeliver(ia, func(s *slayers.SCION) {
+			mu.Lock()
+			outcomes[s.FlowID] = diffOutcome{delivered: true, scmp: -1}
+			mu.Unlock()
+		})
+		eng.OnSCMP(ia, func(m *WireSCMPMsg) {
+			mu.Lock()
+			outcomes[m.FlowID] = diffOutcome{scmp: int8(m.Type), link: m.Link}
+			mu.Unlock()
+		})
+	}
+	for g := 0; g < diffGroups; g++ {
+		for _, fn := range tr.actions[g] {
+			fn(eng)
+		}
+		for _, p := range tr.groups[g] {
+			pkt := diffPacketFor(p)
+			outcomes[p.flow] = diffOutcome{scmp: -1}
+			if err := eng.Inject(pkt); err != nil {
+				t.Fatalf("engine inject flow %d: %v", p.flow, err)
+			}
+		}
+		eng.Flush() // quiesce before the next fault edge
+	}
+	st := eng.Stats()
+	if st.DroppedMalformed != 0 {
+		t.Fatalf("engine rejected %d self-generated packets as malformed", st.DroppedMalformed)
+	}
+	return fingerprint(outcomes, diffCounters{
+		Forwarded: st.Forwarded, Delivered: st.Delivered,
+		DroppedBadMAC: st.DroppedBadMAC, DroppedNoRoute: st.DroppedNoRoute,
+		DroppedTooBig: st.DroppedTooBig, Revocations: st.Revocations,
+		DroppedGray: st.DroppedGray,
+	})
+}
+
+// TestDifferentialGolden is the harness CI runs under -race: for each
+// seed, the fabric fingerprint and the engine fingerprints at 1 and 4
+// workers must be identical, and fingerprints must differ across seeds
+// (the trace actually depends on the seed).
+func TestDifferentialGolden(t *testing.T) {
+	e := newEnv(t)
+	bydSeed := map[int64]string{}
+	for _, seed := range []int64{7, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tr := buildDiffTrace(t, e, seed)
+			fabFP := runFabricTrace(t, e, tr, uint64(seed))
+			for _, workers := range []int{1, 4} {
+				engFP := runEngineTrace(t, e, tr, uint64(seed), workers)
+				if engFP != fabFP {
+					t.Errorf("workers=%d: engine fingerprint %s != fabric %s", workers, engFP, fabFP)
+				}
+			}
+			t.Logf("seed %d fingerprint %s", seed, fabFP)
+			bydSeed[seed] = fabFP
+		})
+	}
+	if len(bydSeed) == 2 && bydSeed[7] == bydSeed[99] {
+		t.Error("fingerprints identical across seeds; trace is not seed-dependent")
+	}
+}
+
+// TestDifferentialCounters spot-checks that the two planes agree on
+// each counter individually (the fingerprint only proves joint
+// equality), and that faults actually fired during the trace.
+func TestDifferentialCounters(t *testing.T) {
+	e := newEnv(t)
+	tr := buildDiffTrace(t, e, 7)
+
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, e.topo, time.Millisecond)
+	fab := NewFabric(net, e.infra.ForwardingKey)
+	fab.LossFunc = HashLoss(7)
+	eng := NewEngine(e.topo, e.infra.ForwardingKey)
+	eng.LossFunc = HashLoss(7)
+
+	for g := 0; g < diffGroups; g++ {
+		for _, fn := range tr.actions[g] {
+			fn(fab)
+			fn(eng)
+		}
+		for _, p := range tr.groups[g] {
+			if err := fab.Inject(diffPacketFor(p)); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Inject(diffPacketFor(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run()
+		eng.Flush()
+	}
+	st := eng.Stats()
+	pairs := []struct {
+		name     string
+		fab, eng uint64
+	}{
+		{"forwarded", fab.Forwarded, st.Forwarded},
+		{"delivered", fab.Delivered, st.Delivered},
+		{"bad_mac", fab.DroppedBadMAC, st.DroppedBadMAC},
+		{"no_route", fab.DroppedNoRoute, st.DroppedNoRoute},
+		{"too_big", fab.DroppedTooBig, st.DroppedTooBig},
+		{"revocations", fab.Revocations, st.Revocations},
+		{"gray", fab.DroppedGray, st.DroppedGray},
+	}
+	for _, p := range pairs {
+		if p.fab != p.eng {
+			t.Errorf("%s: fabric %d != engine %d", p.name, p.fab, p.eng)
+		}
+	}
+	if fab.Delivered == 0 || fab.DroppedBadMAC == 0 {
+		t.Errorf("trace did not exercise delivery and bad-MAC paths: %+v", pairs)
+	}
+	if fab.Revocations == 0 && fab.DroppedGray == 0 {
+		t.Error("chaos plan injected no faults into the trace")
+	}
+}

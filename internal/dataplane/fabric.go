@@ -8,6 +8,7 @@ import (
 	"scionmpr/internal/addr"
 	"scionmpr/internal/seg"
 	"scionmpr/internal/sim"
+	"scionmpr/internal/slayers"
 	"scionmpr/internal/telemetry"
 	"scionmpr/internal/topology"
 )
@@ -50,11 +51,15 @@ type SCMP struct {
 	Orig *Packet
 }
 
-// WireLen implements sim.Message: SCMP header plus quoted packet header.
+// WireLen implements sim.Message: an SCMP message travels as a SCION
+// packet with an empty path (common + address headers) whose payload
+// is the fixed SCMP header plus a quote of the original packet's
+// header bytes (see internal/slayers scmp.go).
 func (m *SCMP) WireLen() int {
-	n := 8 + 8 + 2
+	n := slayers.CmnHdrLen + 2*slayers.IALen + slayers.SCMPHdrLen
 	if m.Orig != nil {
-		n += m.Orig.WireLen() - len(m.Orig.Payload) // headers only
+		n += hostWireLen(m.Orig.Src.Type) + hostWireLen(m.Orig.Dst.Type)
+		n += m.Orig.WireLen() - len(m.Orig.Payload) // quoted headers
 	}
 	return n
 }
@@ -79,6 +84,14 @@ type Fabric struct {
 	// the IGP inside an AS, paper §3.4); packets are delayed by its
 	// return value before leaving on the egress link.
 	IntraASDelay func(ia addr.IA, in, out addr.IfID) time.Duration
+
+	// LossFunc, if set, replaces the seeded-RNG gray-failure coin with a
+	// pure per-packet decision (keyed on the packet's FlowID and the
+	// link). The differential fabric-vs-wire-engine harness installs the
+	// same function on both planes so drop decisions are identical
+	// regardless of packet interleaving; nil keeps the historical
+	// sequence-dependent RNG behavior.
+	LossFunc func(flow uint32, link topology.LinkID, rate float64) bool
 
 	failed map[topology.LinkID]bool
 	// loss holds per-link gray-failure drop probabilities: packets are
@@ -295,9 +308,17 @@ func (f *Fabric) forwardFrom(local addr.IA, pkt *Packet) {
 		})
 		return
 	}
-	if rate := f.loss[link.ID]; rate > 0 && f.dropByLoss(rate) {
-		f.DroppedGray++
-		return
+	if rate := f.loss[link.ID]; rate > 0 {
+		drop := false
+		if f.LossFunc != nil {
+			drop = f.LossFunc(pkt.FlowID, link.ID, rate)
+		} else {
+			drop = f.dropByLoss(rate)
+		}
+		if drop {
+			f.DroppedGray++
+			return
+		}
 	}
 	f.Forwarded++
 	f.Net.Send(local, link, pkt)

@@ -17,6 +17,7 @@ import (
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/combinator"
+	"scionmpr/internal/slayers"
 	"scionmpr/internal/topology"
 )
 
@@ -51,12 +52,17 @@ var macStates = struct {
 	m map[string]hash.Hash
 }{m: map[string]hash.Hash{}}
 
-// hopMAC computes the hop field MAC over (IA, in, out) with the AS key.
-func hopMAC(key []byte, h combinator.Hop) [MACLen]byte {
-	var buf [12]byte
+// macInput builds the 12 bytes the hop field MAC covers.
+func macInput(buf *[12]byte, h combinator.Hop) {
 	binary.BigEndian.PutUint64(buf[:8], h.IA.Uint64())
 	binary.BigEndian.PutUint16(buf[8:10], uint16(h.In))
 	binary.BigEndian.PutUint16(buf[10:12], uint16(h.Out))
+}
+
+// hopMAC computes the hop field MAC over (IA, in, out) with the AS key.
+func hopMAC(key []byte, h combinator.Hop) [MACLen]byte {
+	var buf [12]byte
+	macInput(&buf, h)
 	macStates.Lock()
 	m := macStates.m[string(key)]
 	if m == nil {
@@ -71,6 +77,94 @@ func hopMAC(key []byte, h combinator.Hop) [MACLen]byte {
 	copy(out[:], m.Sum(sum[:0]))
 	macStates.Unlock()
 	return out
+}
+
+// hopMACUncached recomputes the HMAC from scratch — fresh key schedule,
+// no shared state. This is the naive per-packet baseline the batched
+// engine's single-packet mode uses; batch mode amortizes the keyed
+// state and the lock over whole batches instead (see macVerifier).
+func hopMACUncached(key []byte, h combinator.Hop) [MACLen]byte {
+	var buf [12]byte
+	macInput(&buf, h)
+	m := hmac.New(sha256.New, key)
+	m.Write(buf[:])
+	var sum [sha256.Size]byte
+	var out [MACLen]byte
+	copy(out[:], m.Sum(sum[:0]))
+	return out
+}
+
+// macVerifier verifies hop field MACs for one border router draining
+// batches. All hops a router verifies use its own AS key, so a batch
+// needs exactly one keyed-state acquisition from the shared cache
+// (locked once per batch, not once per packet), and identical hop
+// fields across packets of the batch — the common case when many flows
+// share a path — collapse into a small router-owned verdict cache.
+// The verifier is owned by a single worker; only the macStates access
+// inside verifyBatch touches shared state.
+type macVerifier struct {
+	// verdicts caches (ingress, egress, mac) -> valid for this AS key.
+	// Entries are pure functions of the key, so the cache never needs
+	// invalidation, only bounding.
+	verdicts map[[10]byte]bool
+}
+
+const macCacheLimit = 4096
+
+// verdictKey packs a hop field's MAC-covered bytes plus the MAC.
+func verdictKey(in, out addr.IfID, mac [MACLen]byte) [10]byte {
+	var k [10]byte
+	binary.BigEndian.PutUint16(k[0:2], uint16(in))
+	binary.BigEndian.PutUint16(k[2:4], uint16(out))
+	copy(k[4:], mac[:])
+	return k
+}
+
+// macJob is one hop field to verify against the router's key.
+type macJob struct {
+	in, out addr.IfID
+	mac     [MACLen]byte
+}
+
+// verifyBatch verifies jobs for the AS ia under key, writing verdicts
+// into ok (len(ok) == len(jobs)). One lock acquisition per call.
+func (v *macVerifier) verifyBatch(key []byte, ia addr.IA, jobs []macJob, ok []bool) {
+	if v.verdicts == nil {
+		v.verdicts = make(map[[10]byte]bool, 64)
+	}
+	var misses []int
+	for i, j := range jobs {
+		if verdict, hit := v.verdicts[verdictKey(j.in, j.out, j.mac)]; hit {
+			ok[i] = verdict
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	if len(misses) == 0 {
+		return
+	}
+	if len(v.verdicts) > macCacheLimit {
+		v.verdicts = make(map[[10]byte]bool, 64)
+	}
+	macStates.Lock()
+	m := macStates.m[string(key)]
+	if m == nil {
+		m = hmac.New(sha256.New, key)
+		macStates.m[string(key)] = m
+	}
+	var buf [12]byte
+	var sum [sha256.Size]byte
+	for _, i := range misses {
+		j := jobs[i]
+		macInput(&buf, combinator.Hop{IA: ia, In: j.in, Out: j.out})
+		m.Reset()
+		m.Write(buf[:])
+		got := m.Sum(sum[:0])
+		valid := hmac.Equal(got[:MACLen], j.mac[:])
+		ok[i] = valid
+		v.verdicts[verdictKey(j.in, j.out, j.mac)] = valid
+	}
+	macStates.Unlock()
 }
 
 // Authorize stamps a combinator path into a forwarding path: each AS's
@@ -152,11 +246,12 @@ func (fp *FwdPath) LinkRefs(topo *topology.Graph) ([]LinkRef, error) {
 	return out, nil
 }
 
-// WireLen is the encoded size of the path header: a 4-byte meta field
-// plus a 12-byte info field per segment (approximated as one) and 12
-// bytes per hop field, matching the SCION header layout closely enough
-// for overhead accounting.
-func (fp *FwdPath) WireLen() int { return 4 + 12 + 12*len(fp.Hops) }
+// WireLen is the exact encoded size of the path header in the
+// internal/slayers wire format: the 4-byte path meta field, one 8-byte
+// info field, and 12 bytes per hop field.
+func (fp *FwdPath) WireLen() int {
+	return slayers.MetaLen + slayers.InfoLen + slayers.HopLen*len(fp.Hops)
+}
 
 // Packet is a SCION data-plane packet.
 type Packet struct {
@@ -166,12 +261,27 @@ type Packet struct {
 	// packet); it advances as the packet is forwarded.
 	HopIdx  int
 	Payload []byte
+	// FlowID identifies the packet's flow (20 bits on the wire). The
+	// differential fabric-vs-engine harness also keys its per-packet
+	// loss decisions on it (see Fabric.LossFunc).
+	FlowID uint32
 }
 
-// WireLen implements sim.Message: common header, host addresses, path
-// header, payload.
+// hostWireLen is the zero-padded on-wire size of one host address.
+func hostWireLen(t addr.HostAddrType) int {
+	n := t.Len()
+	if r := n % 4; r != 0 {
+		n += 4 - r
+	}
+	return n
+}
+
+// WireLen implements sim.Message. It matches the encoded slayers size
+// exactly: common header, address header (hosts zero-padded to 4-byte
+// multiples), path header, payload.
 func (p *Packet) WireLen() int {
-	n := 12 + p.Src.Type.Len() + p.Dst.Type.Len() + len(p.Payload)
+	n := slayers.CmnHdrLen + 2*slayers.IALen +
+		hostWireLen(p.Src.Type) + hostWireLen(p.Dst.Type) + len(p.Payload)
 	if p.Path != nil {
 		n += p.Path.WireLen()
 	}

@@ -1,0 +1,480 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"scionmpr/internal/addr"
+	"scionmpr/internal/beacon"
+	"scionmpr/internal/combinator"
+	"scionmpr/internal/core"
+	"scionmpr/internal/dataplane"
+	"scionmpr/internal/seg"
+	"scionmpr/internal/sim"
+	"scionmpr/internal/slayers"
+	"scionmpr/internal/topology"
+	"scionmpr/internal/trust"
+)
+
+// The forward experiment exercises the wire-format data plane two ways:
+//
+//  1. Differential replay: one seeded traffic trace (including tampered
+//     hop MACs and mid-run link faults) runs through the in-memory
+//     fabric and through the wire engine at 1 and N workers; all runs
+//     must produce one identical outcome fingerprint. This is the
+//     deterministic part, covered by the golden test and the
+//     experiment's Fingerprint.
+//  2. Forwarding throughput: wall-clock pkts/s per core of the engine,
+//     per-packet vs batched, MAC verification on vs off — the numbers
+//     behind BENCH_pr9.json. Wall-clock, so excluded from the
+//     fingerprint.
+
+// ForwardConfig parameterizes the forward experiment.
+type ForwardConfig struct {
+	// Groups and FlowsPerGroup size the differential trace; faults are
+	// applied at group boundaries where both planes are quiescent.
+	Groups, FlowsPerGroup int
+	// Seed drives trace generation and the shared loss function.
+	Seed int64
+	// Workers is the engine's concurrent worker count for the
+	// multi-worker differential leg.
+	Workers int
+	// BenchPackets is the packet count per wall-clock throughput mode
+	// (0 skips the throughput phase, e.g. in tests).
+	BenchPackets int
+}
+
+// DefaultForwardConfig is the CI-friendly setup.
+func DefaultForwardConfig() ForwardConfig {
+	return ForwardConfig{
+		Groups:        12,
+		FlowsPerGroup: 24,
+		Seed:          7,
+		Workers:       4,
+		BenchPackets:  200_000,
+	}
+}
+
+// ForwardMode is one wall-clock throughput measurement.
+type ForwardMode struct {
+	Name       string
+	BatchSize  int
+	MAC        bool
+	PktsPerSec float64 // volatile
+}
+
+// ForwardResult is one run of the forward experiment.
+type ForwardResult struct {
+	Config ForwardConfig
+
+	// Differential observables (deterministic).
+	DiffFingerprint string
+	PlanesAgree     bool
+	Injected        int
+	Forwarded       uint64
+	Delivered       uint64
+	DroppedBadMAC   uint64
+	DroppedGray     uint64
+	Revocations     uint64
+
+	// Throughput observables (wall-clock, excluded from Fingerprint).
+	Modes           []ForwardMode
+	BatchSpeedupMAC float64
+	Elapsed         time.Duration
+}
+
+// Fingerprint digests the deterministic observables: equal configs must
+// produce equal fingerprints for every worker count and across the
+// fabric/engine divide.
+func (r *ForwardResult) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(r.DiffFingerprint))
+	var b [8]byte
+	for _, v := range []uint64{
+		uint64(r.Injected), r.Forwarded, r.Delivered,
+		r.DroppedBadMAC, r.DroppedGray, r.Revocations,
+	} {
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	if r.PlanesAgree {
+		h.Write([]byte{1})
+	}
+	return [sha256.Size]byte(h.Sum(nil)[:sha256.Size])
+}
+
+func (r *ForwardResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "forward: differential replay of %d packets (fabric vs wire engine x{1,%d} workers)\n",
+		r.Injected, r.Config.Workers)
+	fmt.Fprintf(w, "  planes agree: %v  fingerprint %s\n", r.PlanesAgree, r.DiffFingerprint[:16])
+	fmt.Fprintf(w, "  forwarded %d  delivered %d  bad-mac %d  gray %d  revocations %d\n",
+		r.Forwarded, r.Delivered, r.DroppedBadMAC, r.DroppedGray, r.Revocations)
+	if len(r.Modes) > 0 {
+		fmt.Fprintf(w, "  %-14s %-6s %-5s %12s\n", "mode", "batch", "mac", "pkts/s/core")
+		for _, m := range r.Modes {
+			fmt.Fprintf(w, "  %-14s %-6d %-5v %12.0f\n", m.Name, m.BatchSize, m.MAC, m.PktsPerSec)
+		}
+		fmt.Fprintf(w, "  batch speedup with MAC on: %.2fx\n", r.BatchSpeedupMAC)
+	}
+}
+
+// forwardEnv is the shared beaconing-derived setting of the experiment:
+// the demo topology, its trust infra, and authorized forwarding paths
+// between every ordered pair of leaf ASes.
+type forwardEnv struct {
+	topo  *topology.Graph
+	infra *trust.Infra
+	paths []*dataplane.FwdPath
+}
+
+func buildForwardEnv() (*forwardEnv, error) {
+	topo := topology.Demo()
+	infra, err := trust.NewInfra(topo, trust.Sized)
+	if err != nil {
+		return nil, err
+	}
+	cfg := beacon.DefaultRunConfig(topo, beacon.IntraMode, core.NewBaseline(5), 20)
+	cfg.Duration = time.Hour
+	cfg.Infra = infra
+	run, err := beacon.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a2 := addr.MustIA(1, 0xff00_0000_0102)
+	leaves := []addr.IA{
+		addr.MustIA(1, 0xff00_0000_0104),
+		addr.MustIA(1, 0xff00_0000_0105),
+		addr.MustIA(1, 0xff00_0000_0106),
+	}
+	term := func(origin, d addr.IA) ([]*seg.PCB, error) {
+		var out []*seg.PCB
+		for _, ent := range run.Servers[d].Store().Entries(run.End, origin) {
+			tp, err := ent.PCB.Extend(infra.SignerFor(d), addr.IA{}, ent.Ingress, 0, nil, 1472)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tp)
+		}
+		return out, nil
+	}
+	env := &forwardEnv{topo: topo, infra: infra}
+	for _, src := range leaves {
+		for _, dst := range leaves {
+			if src == dst {
+				continue
+			}
+			up, err := term(a2, src)
+			if err != nil {
+				return nil, err
+			}
+			down, err := term(a2, dst)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range combinator.AllPaths(up, nil, down) {
+				fp, err := dataplane.Authorize(c, infra.ForwardingKey)
+				if err != nil {
+					return nil, err
+				}
+				env.paths = append(env.paths, fp)
+			}
+		}
+	}
+	if len(env.paths) < 4 {
+		return nil, fmt.Errorf("forward: only %d leaf-pair paths", len(env.paths))
+	}
+	return env, nil
+}
+
+// fwdTrace is the precomputed seeded traffic plus the per-group fault
+// actions, both pure functions of the config.
+type fwdTrace struct {
+	groups  [][]*dataplane.Packet
+	actions [][]func(fail, restore func(topology.LinkID), gray func(topology.LinkID, float64))
+}
+
+func buildFwdTrace(env *forwardEnv, cfg ForwardConfig) *fwdTrace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tampered := make([]*dataplane.FwdPath, len(env.paths))
+	for i, p := range env.paths {
+		tp := &dataplane.FwdPath{Hops: append([]dataplane.HopField(nil), p.Hops...), MTU: p.MTU}
+		tp.Hops[len(tp.Hops)-1].MAC[0] ^= 0x5a
+		tampered[i] = tp
+	}
+	tr := &fwdTrace{
+		groups:  make([][]*dataplane.Packet, cfg.Groups),
+		actions: make([][]func(func(topology.LinkID), func(topology.LinkID), func(topology.LinkID, float64)), cfg.Groups+1),
+	}
+	flow := uint32(1)
+	for g := 0; g < cfg.Groups; g++ {
+		for k := 0; k < cfg.FlowsPerGroup; k++ {
+			pi := rng.Intn(len(env.paths))
+			p := env.paths[pi]
+			if rng.Intn(10) == 0 {
+				p = tampered[pi]
+			}
+			srcIA := p.Hops[0].Hop.IA
+			dstIA := p.Hops[len(p.Hops)-1].Hop.IA
+			tr.groups[g] = append(tr.groups[g], &dataplane.Packet{
+				Src:     addr.HostIP4(srcIA, 10, byte(flow>>16), byte(flow>>8), byte(flow)),
+				Dst:     addr.HostIP4(dstIA, 10, byte(flow>>16), byte(flow>>8), byte(flow)),
+				Path:    p,
+				Payload: make([]byte, 16+rng.Intn(256)),
+				FlowID:  flow,
+			})
+			flow++
+		}
+	}
+	// Fault plan: fail one multi-hop path's transit link for a third of
+	// the run, gray-degrade another link for a later third. Edges land
+	// on group boundaries where both planes are quiescent.
+	var long *dataplane.FwdPath
+	for _, p := range env.paths {
+		if len(p.Hops) >= 3 {
+			long = p
+			break
+		}
+	}
+	if long != nil && cfg.Groups >= 6 {
+		hop := long.Hops[1].Hop
+		link := env.topo.LinkByIf(hop.IA, hop.Out)
+		if link != nil && hop.Out != 0 {
+			id := link.ID
+			on, off := cfg.Groups/3, 2*cfg.Groups/3
+			tr.actions[on] = append(tr.actions[on],
+				func(fail, _ func(topology.LinkID), _ func(topology.LinkID, float64)) { fail(id) })
+			tr.actions[off] = append(tr.actions[off],
+				func(_, restore func(topology.LinkID), _ func(topology.LinkID, float64)) { restore(id) })
+		}
+		first := long.Hops[0].Hop
+		if l2 := env.topo.LinkByIf(first.IA, first.Out); l2 != nil {
+			id := l2.ID
+			on, off := 2*cfg.Groups/3, cfg.Groups
+			tr.actions[on] = append(tr.actions[on],
+				func(_, _ func(topology.LinkID), gray func(topology.LinkID, float64)) { gray(id, 0.5) })
+			tr.actions[off] = append(tr.actions[off],
+				func(_, _ func(topology.LinkID), gray func(topology.LinkID, float64)) { gray(id, 0) })
+		}
+	}
+	return tr
+}
+
+type fwdOutcome struct {
+	delivered bool
+	scmp      int8
+	link      seg.LinkKey
+}
+
+func fwdFingerprint(outcomes map[uint32]fwdOutcome, counters []uint64) string {
+	flows := make([]uint32, 0, len(outcomes))
+	for f := range outcomes {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	h := sha256.New()
+	var buf [16]byte
+	for _, f := range flows {
+		o := outcomes[f]
+		binary.BigEndian.PutUint32(buf[0:4], f)
+		buf[4] = 0
+		if o.delivered {
+			buf[4] = 1
+		}
+		buf[5] = byte(o.scmp + 1)
+		binary.BigEndian.PutUint64(buf[6:14], o.link.IA.Uint64())
+		binary.BigEndian.PutUint16(buf[14:16], uint16(o.link.If))
+		h.Write(buf[:])
+	}
+	for _, v := range counters {
+		binary.BigEndian.PutUint64(buf[0:8], v)
+		h.Write(buf[:8])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func clonePacket(p *dataplane.Packet) *dataplane.Packet {
+	c := *p
+	return &c
+}
+
+func runFwdFabric(env *forwardEnv, cfg ForwardConfig, tr *fwdTrace) (string, *dataplane.Fabric, error) {
+	s := &sim.Simulator{}
+	net := sim.NewNetwork(s, env.topo, time.Millisecond)
+	fab := dataplane.NewFabric(net, env.infra.ForwardingKey)
+	fab.LossFunc = dataplane.HashLoss(uint64(cfg.Seed))
+	outcomes := map[uint32]fwdOutcome{}
+	for _, ia := range env.topo.IAs() {
+		fab.OnDeliver(ia, func(p *dataplane.Packet) {
+			outcomes[p.FlowID] = fwdOutcome{delivered: true, scmp: -1}
+		})
+		fab.OnSCMP(ia, func(m *dataplane.SCMP) {
+			outcomes[m.Orig.FlowID] = fwdOutcome{scmp: int8(m.Type), link: m.Link}
+		})
+	}
+	for g := range tr.groups {
+		for _, fn := range tr.actions[g] {
+			fn(fab.FailLink, fab.RestoreLink, fab.SetLinkLoss)
+		}
+		for _, p := range tr.groups[g] {
+			outcomes[p.FlowID] = fwdOutcome{scmp: -1}
+			if err := fab.Inject(clonePacket(p)); err != nil {
+				return "", nil, fmt.Errorf("fabric inject flow %d: %w", p.FlowID, err)
+			}
+		}
+		s.Run()
+	}
+	fp := fwdFingerprint(outcomes, []uint64{
+		fab.Forwarded, fab.Delivered, fab.DroppedBadMAC, fab.DroppedNoRoute,
+		fab.DroppedTooBig, fab.Revocations, fab.DroppedGray,
+	})
+	return fp, fab, nil
+}
+
+func runFwdEngine(env *forwardEnv, cfg ForwardConfig, tr *fwdTrace, workers int) (string, error) {
+	eng := dataplane.NewEngine(env.topo, env.infra.ForwardingKey)
+	eng.Workers = workers
+	eng.LossFunc = dataplane.HashLoss(uint64(cfg.Seed))
+	var mu sync.Mutex
+	outcomes := map[uint32]fwdOutcome{}
+	for _, ia := range env.topo.IAs() {
+		eng.OnDeliver(ia, func(s *slayers.SCION) {
+			mu.Lock()
+			outcomes[s.FlowID] = fwdOutcome{delivered: true, scmp: -1}
+			mu.Unlock()
+		})
+		eng.OnSCMP(ia, func(m *dataplane.WireSCMPMsg) {
+			mu.Lock()
+			outcomes[m.FlowID] = fwdOutcome{scmp: int8(m.Type), link: m.Link}
+			mu.Unlock()
+		})
+	}
+	for g := range tr.groups {
+		for _, fn := range tr.actions[g] {
+			fn(eng.FailLink, eng.RestoreLink, eng.SetLinkLoss)
+		}
+		for _, p := range tr.groups[g] {
+			outcomes[p.FlowID] = fwdOutcome{scmp: -1}
+			if err := eng.Inject(clonePacket(p)); err != nil {
+				return "", fmt.Errorf("engine inject flow %d: %w", p.FlowID, err)
+			}
+		}
+		eng.Flush()
+	}
+	st := eng.Stats()
+	if st.DroppedMalformed != 0 {
+		return "", fmt.Errorf("engine dropped %d packets as malformed", st.DroppedMalformed)
+	}
+	return fwdFingerprint(outcomes, []uint64{
+		st.Forwarded, st.Delivered, st.DroppedBadMAC, st.DroppedNoRoute,
+		st.DroppedTooBig, st.Revocations, st.DroppedGray,
+	}), nil
+}
+
+// measureForward drives BenchPackets identical wire packets through a
+// single-worker engine and reports wall-clock pkts/s.
+func measureForward(env *forwardEnv, batchSize int, mac bool, packets int) (float64, error) {
+	eng := dataplane.NewEngine(env.topo, env.infra.ForwardingKey)
+	eng.Workers = 1
+	eng.BatchSize = batchSize
+	eng.DisableMAC = !mac
+	delivered := 0
+	path := env.paths[0]
+	dstIA := path.Hops[len(path.Hops)-1].Hop.IA
+	eng.OnDeliver(dstIA, func(s *slayers.SCION) { delivered++ })
+	pkt := &dataplane.Packet{
+		Src:     addr.HostIP4(path.Hops[0].Hop.IA, 10, 0, 0, 1),
+		Dst:     addr.HostIP4(dstIA, 10, 0, 0, 2),
+		Path:    path,
+		Payload: make([]byte, 128),
+		FlowID:  1,
+	}
+	buf := make([]byte, pkt.WireLen())
+	var s slayers.SCION
+	if _, err := dataplane.EncodePacket(&s, pkt, buf); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	const chunk = 256
+	for n := 0; n < packets; {
+		m := chunk
+		if packets-n < m {
+			m = packets - n
+		}
+		for i := 0; i < m; i++ {
+			if err := eng.InjectBytes(buf, path.MTU); err != nil {
+				return 0, err
+			}
+		}
+		eng.Flush()
+		n += m
+	}
+	elapsed := time.Since(start)
+	if delivered != packets {
+		return 0, fmt.Errorf("forward bench delivered %d of %d", delivered, packets)
+	}
+	return float64(packets) / elapsed.Seconds(), nil
+}
+
+// RunForward executes the forward experiment.
+func RunForward(cfg ForwardConfig) (*ForwardResult, error) {
+	start := time.Now()
+	env, err := buildForwardEnv()
+	if err != nil {
+		return nil, err
+	}
+	tr := buildFwdTrace(env, cfg)
+
+	fabFP, fab, err := runFwdFabric(env, cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	res := &ForwardResult{
+		Config:          cfg,
+		DiffFingerprint: fabFP,
+		PlanesAgree:     true,
+		Injected:        cfg.Groups * cfg.FlowsPerGroup,
+		Forwarded:       fab.Forwarded,
+		Delivered:       fab.Delivered,
+		DroppedBadMAC:   fab.DroppedBadMAC,
+		DroppedGray:     fab.DroppedGray,
+		Revocations:     fab.Revocations,
+	}
+	for _, workers := range []int{1, cfg.Workers} {
+		engFP, err := runFwdEngine(env, cfg, tr, workers)
+		if err != nil {
+			return nil, err
+		}
+		if engFP != fabFP {
+			res.PlanesAgree = false
+			return res, fmt.Errorf("forward: engine (%d workers) fingerprint %s != fabric %s",
+				workers, engFP, fabFP)
+		}
+	}
+
+	if cfg.BenchPackets > 0 {
+		modes := []ForwardMode{
+			{Name: "single_mac", BatchSize: 1, MAC: true},
+			{Name: "single_nomac", BatchSize: 1, MAC: false},
+			{Name: "batch_mac", BatchSize: 32, MAC: true},
+			{Name: "batch_nomac", BatchSize: 32, MAC: false},
+		}
+		for i := range modes {
+			pps, err := measureForward(env, modes[i].BatchSize, modes[i].MAC, cfg.BenchPackets)
+			if err != nil {
+				return nil, err
+			}
+			modes[i].PktsPerSec = pps
+		}
+		res.Modes = modes
+		res.BatchSpeedupMAC = modes[2].PktsPerSec / modes[0].PktsPerSec
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

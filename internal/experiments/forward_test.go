@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestForwardDeterminismAndAgreement runs the forward experiment's
+// differential phase twice (throughput phase disabled): the planes must
+// agree, the fingerprint must be reproducible, and the trace must
+// actually exercise delivery, MAC drops, and faults.
+func TestForwardDeterminismAndAgreement(t *testing.T) {
+	cfg := DefaultForwardConfig()
+	cfg.BenchPackets = 0 // wall-clock phase not under test
+	run := func() *ForwardResult {
+		res, err := RunForward(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res1 := run()
+	res2 := run()
+	if !res1.PlanesAgree {
+		t.Fatal("fabric and wire engine disagree")
+	}
+	if res1.Fingerprint() != res2.Fingerprint() {
+		t.Fatalf("forward experiment not deterministic:\n%s\n%s",
+			res1.DiffFingerprint, res2.DiffFingerprint)
+	}
+	if res1.Delivered == 0 || res1.DroppedBadMAC == 0 {
+		t.Errorf("trace too tame: %+v", res1)
+	}
+	if res1.Revocations == 0 && res1.DroppedGray == 0 {
+		t.Error("fault plan injected nothing")
+	}
+	var buf bytes.Buffer
+	res1.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("planes agree: true")) {
+		t.Errorf("Print output:\n%s", buf.String())
+	}
+}

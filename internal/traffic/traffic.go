@@ -559,6 +559,9 @@ func (e *Engine) injectHead(f *Flow, p *flowPath, granted int64) {
 		Dst:     hostFor(f.spec.Dst, f.spec.ID),
 		Path:    p.fp,
 		Payload: encodeHead(f.spec.ID, granted),
+		// Flow identity on the wire (20-bit field), so traffic traces
+		// can be replayed through the wire-format engine byte-for-byte.
+		FlowID: uint32(f.spec.ID) & 0xfffff,
 	}
 	// Inject errors (and synchronous source-local SCMP) are reflected in
 	// fabric counters and flow state; the pump carries on either way.

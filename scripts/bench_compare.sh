@@ -1,29 +1,30 @@
 #!/usr/bin/env bash
 # bench_compare.sh OLD.json NEW.json [threshold-pct]
+# bench_compare.sh --speedup FILE.json FAST_BENCH SLOW_BENCH MIN_RATIO
 #
-# Compares allocs/op between two benchmark capture files produced with
+# Compare mode: compares allocs/op and pkts/s between two benchmark
+# capture files produced with
 #   go test -json -run '^$' -bench ... -benchmem ... > BENCH_prN.json
-# and fails (exit 1) if any benchmark present in BOTH files regressed its
-# allocs/op by more than the threshold (default 20%). Benchmarks that
-# exist in only one file are reported and skipped — capture files from
-# different PRs cover different packages.
+# and fails (exit 1) if any benchmark present in BOTH files regressed:
+#   - allocs/op grew by more than the threshold (default 20%), or
+#   - pkts/s shrank by more than twice the threshold (wall clock on
+#     shared CI runners is noisier than allocation counts, so the
+#     throughput gate gets double headroom).
+# Benchmarks that exist in only one file are reported and skipped —
+# capture files from different PRs cover different packages.
 #
-# The memory-layout work is guarded on allocations rather than ns/op
-# because wall clock on shared CI runners is too noisy to gate on, while
-# allocs/op is deterministic for the deterministic-simulation benchmarks.
+# Speedup mode: reads one capture file and fails unless
+#   pkts/s(FAST_BENCH) >= MIN_RATIO * pkts/s(SLOW_BENCH).
+# Both benchmarks come from the same run on the same machine, so the
+# ratio is noise-robust even where absolute wall clock is not. CI uses
+# this to hold the batched forwarding engine to its >=2x speedup over
+# per-packet forwarding with MAC verification on.
 set -euo pipefail
-
-if [ $# -lt 2 ] || [ $# -gt 3 ]; then
-    echo "usage: $0 OLD.json NEW.json [threshold-pct]" >&2
-    exit 2
-fi
-old_file=$1
-new_file=$2
-threshold=${3:-20}
 
 # Reassemble the benchmark output lines from the go-test-json stream: the
 # Output payload of one logical line is split across several JSON events,
 # so concatenate all payloads first and split on the escaped newlines.
+# Prints "name metric value" per (benchmark, metric) pair.
 extract() {
     awk '
     {
@@ -58,13 +59,48 @@ extract() {
             name = f[1]
             sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
             for (j = 3; j < nf; j++) {
-                if (f[j + 1] == "allocs/op") {
-                    print name, f[j]
+                if (f[j + 1] == "allocs/op" || f[j + 1] == "pkts/s") {
+                    print name, f[j + 1], f[j]
                 }
             }
         }
     }' "$1"
 }
+
+if [ "${1:-}" = "--speedup" ]; then
+    if [ $# -ne 5 ]; then
+        echo "usage: $0 --speedup FILE.json FAST_BENCH SLOW_BENCH MIN_RATIO" >&2
+        exit 2
+    fi
+    file=$2 fast=$3 slow=$4 min=$5
+    extract "$file" | awk -v fast="$fast" -v slow="$slow" -v min="$min" '
+        $2 == "pkts/s" && $1 == fast { f = $3 + 0 }
+        $2 == "pkts/s" && $1 == slow { s = $3 + 0 }
+        END {
+            if (f == 0 || s == 0) {
+                printf "error: missing pkts/s for %s or %s\n", fast, slow > "/dev/stderr"
+                exit 2
+            }
+            ratio = f / s
+            printf "%s: %.0f pkts/s\n%s: %.0f pkts/s\nspeedup: %.2fx (required >= %sx)\n", \
+                fast, f, slow, s, ratio, min
+            if (ratio < min + 0) {
+                print "FAIL: speedup below required minimum" > "/dev/stderr"
+                exit 1
+            }
+            print "OK"
+        }'
+    exit $?
+fi
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold-pct]" >&2
+    echo "       $0 --speedup FILE.json FAST_BENCH SLOW_BENCH MIN_RATIO" >&2
+    exit 2
+fi
+old_file=$1
+new_file=$2
+threshold=${3:-20}
 
 old_data=$(extract "$old_file")
 new_data=$(extract "$new_file")
@@ -72,33 +108,43 @@ new_data=$(extract "$new_file")
 printf '%s\n' "$old_data" "---" "$new_data" | awk -v thr="$threshold" \
     -v old_name="$old_file" -v new_name="$new_file" '
     /^---$/ { section = 1; next }
-    section == 0 { old[$1] = $2; next }
-    { new[$1] = $2 }
+    section == 0 { old[$1 " " $2] = $3; next }
+    { new[$1 " " $2] = $3 }
     END {
         worst = 0
         compared = 0
-        for (name in new) {
-            if (!(name in old)) continue
+        for (key in new) {
+            if (!(key in old)) continue
             compared++
-            o = old[name] + 0
-            n = new[name] + 0
-            pct = o > 0 ? (n - o) * 100.0 / o : 0
+            split(key, kf, " ")
+            metric = kf[2]
+            o = old[key] + 0
+            n = new[key] + 0
+            if (metric == "pkts/s") {
+                # Lower throughput is the regression; double headroom
+                # for wall-clock noise.
+                pct = o > 0 ? (o - n) * 100.0 / o : 0
+                lim = 2 * thr
+            } else {
+                pct = o > 0 ? (n - o) * 100.0 / o : 0
+                lim = thr
+            }
             marker = ""
-            if (pct > thr) { marker = "  REGRESSION"; failed++ }
-            printf "%-60s %10d -> %10d allocs/op  %+7.1f%%%s\n", name, o, n, pct, marker
+            if (pct > lim) { marker = "  REGRESSION"; failed++ }
+            printf "%-60s %14.1f -> %14.1f %-10s %+7.1f%%%s\n", kf[1], o, n, metric, pct, marker
             if (pct > worst) worst = pct
         }
-        for (name in old) if (!(name in new)) skipped_old++
-        for (name in new) if (!(name in old)) skipped_new++
-        printf "\ncompared %d benchmarks (%s vs %s); %d only in old, %d only in new\n", \
+        for (key in old) if (!(key in new)) skipped_old++
+        for (key in new) if (!(key in old)) skipped_new++
+        printf "\ncompared %d benchmark metrics (%s vs %s); %d only in old, %d only in new\n", \
             compared, old_name, new_name, skipped_old + 0, skipped_new + 0
         if (compared == 0) {
             print "error: no common benchmarks to compare" > "/dev/stderr"
             exit 2
         }
         if (failed > 0) {
-            printf "FAIL: %d benchmark(s) regressed allocs/op by more than %d%%\n", failed, thr > "/dev/stderr"
+            printf "FAIL: %d metric(s) regressed beyond their threshold\n", failed > "/dev/stderr"
             exit 1
         }
-        printf "OK: no allocs/op regression above %d%% (worst %+.1f%%)\n", thr, worst
+        printf "OK: no regression beyond thresholds (worst %+.1f%%)\n", worst
     }'

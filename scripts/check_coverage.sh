@@ -10,7 +10,7 @@
 # Usage: go test -cover ./... | scripts/check_coverage.sh
 
 floors='
-scionmpr/cmd/beaconsim 26
+scionmpr/cmd/beaconsim 22
 scionmpr/cmd/chaossim 56
 scionmpr/cmd/pathserve 59
 scionmpr/cmd/topogen 25
@@ -19,19 +19,20 @@ scionmpr/internal/addr 92
 scionmpr/internal/beacon 90
 scionmpr/internal/bgp 87
 scionmpr/internal/bgpsec 88
-scionmpr/internal/chaos 86
+scionmpr/internal/chaos 58
 scionmpr/internal/combinator 89
-scionmpr/internal/core 90
-scionmpr/internal/dataplane 67
+scionmpr/internal/core 63
+scionmpr/internal/dataplane 80
 scionmpr/internal/deploy 91
 scionmpr/internal/experiments 87
 scionmpr/internal/graphalg 97
 scionmpr/internal/metrics 95
 scionmpr/internal/pathdb 83
 scionmpr/internal/pathsrv 91
-scionmpr/internal/seg 94
+scionmpr/internal/seg 77
 scionmpr/internal/sig 93
-scionmpr/internal/sim 84
+scionmpr/internal/slayers 88
+scionmpr/internal/sim 77
 scionmpr/internal/telemetry 88
 scionmpr/internal/topology 93
 scionmpr/internal/traffic 88
