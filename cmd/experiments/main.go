@@ -23,6 +23,11 @@
 //	            batched forwarding engine (fingerprints must match),
 //	            plus per-core forwarding throughput, batched vs
 //	            per-packet, MAC on/off
+//	tournament  extra: path-selection strategy tournament — every
+//	            registered policy (single-best, round-robin, weighted,
+//	            latency, disjoint, hybrid) scored on identical
+//	            topology x workload x chaos grid cells; deterministic
+//	            fingerprint, winner promoted to the traffic default
 //	convergence extra: BGP (re-)convergence vs SCION SCMP failover (§5)
 //	ablation    extra: selector variants (raw geomean, AS-disjoint, latency)
 //	scionlab    Figures 7/8/9 SCIONLab path quality & bandwidth
@@ -54,7 +59,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | failover | forward | scionlab | convergence | ablation | gridsearch | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | fig5 (alias: overhead) | fig6 | capacity | churn | serve | failover | forward | tournament | scionlab | convergence | ablation | gridsearch | all")
 		scaleStr  = flag.String("scale", "default", "scale preset: smoke | default | paper")
 		duration  = flag.Duration("duration", 0, "override beaconing duration")
 		pairs     = flag.Int("pairs", 0, "override sampled AS pairs")
@@ -259,6 +264,16 @@ func main() {
 	if want("forward") {
 		runOne("forward", func() error {
 			res, err := experiments.RunForward(experiments.DefaultForwardConfig())
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("tournament") {
+		runOne("tournament", func() error {
+			res, err := experiments.RunTournament(scale, experiments.DefaultTournamentConfig())
 			if err != nil {
 				return err
 			}

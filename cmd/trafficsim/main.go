@@ -53,7 +53,8 @@ func main() {
 	flag.Float64Var(&cfg.rate, "rate", 5000, "Poisson arrival rate (flows/s)")
 	flag.Float64Var(&cfg.meanSize, "mean", 128<<10, "mean flow size (bytes, bounded Pareto)")
 	flag.Float64Var(&cfg.zipf, "zipf", 1.2, "Zipf exponent for pair popularity (<=0: uniform)")
-	flag.StringVar(&cfg.sched, "sched", "weighted", "scheduler: single-best | round-robin | weighted | latency")
+	flag.StringVar(&cfg.sched, "sched", "weighted",
+		"path-selection policy spec: single-best | round-robin | weighted | latency [stretch=<f>] | disjoint | hybrid [cap=<w> lat=<w> loss=<w> disj=<w> hops=<w> rev=<w> revwin=<d>]")
 	flag.Int64Var(&cfg.chunk, "chunk", 64<<10, "admission chunk size (bytes)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "virtual-time cutoff (0: run all flows to completion)")
 	flag.StringVar(&cfg.telemAddr, "telemetry", "", "serve /metrics, /snapshot, /trace and /debug/pprof on this address during the run")

@@ -258,6 +258,10 @@ func TestScheduleValidation(t *testing.T) {
 		{Kind: Gray, Link: 1, Down: time.Second, Rate: 0},
 		{Kind: Gray, Link: 1, Down: time.Second, Rate: 1.5},
 		{Kind: Spike, Link: 1, Down: time.Second, Delay: 0},
+		// A periodic event whose outage outlasts its period would overlap
+		// itself and hide re-injections behind the depth counting.
+		{Kind: Flap, Link: 1, Down: 2 * time.Second, Period: time.Second},
+		{Kind: CrashAS, IA: addr.MustIA(1, 0xff00_0000_0110), Down: 5 * time.Second, Period: 3 * time.Second},
 	} {
 		sched := &Schedule{End: sim.Time(time.Second), Events: []Event{bad}}
 		if err := e.Apply(sched); err == nil {
@@ -380,5 +384,49 @@ crash ` + l.A.String() + ` at 5s down 3s
 		if _, err := ParseSchedule(strings.NewReader(bad), g); err == nil {
 			t.Errorf("ParseSchedule(%q) did not fail", bad)
 		}
+	}
+}
+
+// TestParseScheduleRejectsInvalidEvents pins the parse-time event
+// validation: schedule files fail with a line number instead of
+// surviving until Engine.Apply.
+func TestParseScheduleRejectsInvalidEvents(t *testing.T) {
+	g := topology.Demo()
+	known := g.IAs()[0]
+	for _, tc := range []struct {
+		name, text, wantErr string
+	}{
+		{"zero-duration flap", "end 10s\nflap 1 at 1s down 0s", "down > 0"},
+		{"negative-duration crash", "end 10s\ncrash " + known.String() + " at 1s down -2s", "down > 0"},
+		{"missing down", "end 10s\nflap 1 at 1s", "down > 0"},
+		{"self-overlapping flap", "end 30s\nflap 1 at 1s down 5s period 2s", "overlaps itself"},
+		{"self-overlapping crash", "end 30s\ncrash " + known.String() + " at 1s down 4s period 3s", "overlaps itself"},
+		{"unknown crash target", "end 10s\ncrash 99-ff00:0:999 at 1s down 1s", "unknown AS"},
+		{"gray without rate", "end 10s\ngray 1 at 1s down 1s", "rate in (0, 1]"},
+		{"gray rate above one", "end 10s\ngray 1 at 1s down 1s rate 1.25", "rate in (0, 1]"},
+		{"spike without delay", "end 10s\nspike 1 at 1s down 1s", "delay > 0"},
+	} {
+		_, err := ParseSchedule(strings.NewReader(tc.text), g)
+		if err == nil {
+			t.Errorf("%s: ParseSchedule(%q) did not fail", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error %q does not carry the line number", tc.name, err)
+		}
+	}
+	// Distinct events may still overlap on the same target — that is the
+	// depth-counted feature TestOverlappingFlapsDepthCounted pins, and it
+	// must survive the parse-time validation.
+	ok := "end 30s\nflap 1 at 1s down 4s\nflap 1 at 2s down 1s"
+	if _, err := ParseSchedule(strings.NewReader(ok), g); err != nil {
+		t.Errorf("cross-event overlap must stay legal, got %v", err)
+	}
+	// Unknown crash targets are only detectable with a topology in hand.
+	if _, err := ParseSchedule(strings.NewReader("end 10s\ncrash 99-ff00:0:999 at 1s down 1s"), nil); err != nil {
+		t.Errorf("crash on nil topology must stay legal, got %v", err)
 	}
 }

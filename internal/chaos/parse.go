@@ -103,6 +103,9 @@ func parseEvent(fields []string, g *topology.Graph) (*Event, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad AS %q: %w", fields[1], err)
 		}
+		if g != nil && g.AS(ia) == nil {
+			return nil, fmt.Errorf("unknown AS %s", ia)
+		}
 		ev.IA = ia
 	} else {
 		id, err := parseLink(fields[1], g)
@@ -146,6 +149,21 @@ func parseEvent(fields []string, g *topology.Graph) (*Event, error) {
 		default:
 			return nil, fmt.Errorf("unknown argument %q", key)
 		}
+	}
+	// Validate the assembled event here rather than at Apply time, so a
+	// bad schedule file fails with its line number. The same invariants
+	// are re-checked in occurrences for programmatic schedules.
+	if ev.Down <= 0 {
+		return nil, fmt.Errorf("%s event needs down > 0", ev.Kind)
+	}
+	if ev.Period > 0 && ev.Down > ev.Period {
+		return nil, fmt.Errorf("%s event overlaps itself: down %v > period %v", ev.Kind, ev.Down, ev.Period)
+	}
+	if ev.Kind == Gray && (ev.Rate <= 0 || ev.Rate > 1) {
+		return nil, fmt.Errorf("gray event needs rate in (0, 1], got %g", ev.Rate)
+	}
+	if ev.Kind == Spike && ev.Delay <= 0 {
+		return nil, fmt.Errorf("spike event needs delay > 0")
 	}
 	return ev, nil
 }

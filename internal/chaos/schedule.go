@@ -68,6 +68,12 @@ func (ev *Event) occurrences(end sim.Time, rng *rand.Rand) ([]sim.Time, error) {
 	if ev.Down <= 0 {
 		return nil, fmt.Errorf("%s event needs Down > 0", ev.Kind)
 	}
+	// A periodic event must heal before it re-fires: otherwise the same
+	// event's occurrences overlap and the depth counting that lets
+	// *different* events overlap deliberately would mask re-injections.
+	if ev.Period > 0 && ev.Down > ev.Period {
+		return nil, fmt.Errorf("%s event overlaps itself: Down %v > Period %v", ev.Kind, ev.Down, ev.Period)
+	}
 	if ev.Kind == Gray && (ev.Rate <= 0 || ev.Rate > 1) {
 		return nil, fmt.Errorf("gray event needs Rate in (0, 1], got %g", ev.Rate)
 	}

@@ -134,14 +134,23 @@ func pairEngines(clock *sim.Simulator, net *sim.Network, fabric *dataplane.Fabri
 // algorithm and measures every pair with weighted-by-bottleneck striping
 // over the looked-up path set.
 func scionCapacity(topo *topology.Graph, alg scion.Algorithm, pairs [][2]addr.IA) ([]float64, error) {
+	return scionCapacityWith(topo, alg,
+		func() traffic.Scheduler { return &traffic.WeightedBottleneck{} }, pairs)
+}
+
+// scionCapacityWith is scionCapacity with a pluggable scheduler factory —
+// the differential cross-check replays the capacity run through every
+// refactored strategy and pins the result to pre-refactor goldens.
+func scionCapacityWith(topo *topology.Graph, alg scion.Algorithm,
+	sched func() traffic.Scheduler, pairs [][2]addr.IA) ([]float64, error) {
+
 	opts := scion.DefaultOptions()
 	opts.Algorithm = alg
 	n, err := scion.NewNetwork(topo, opts)
 	if err != nil {
 		return nil, err
 	}
-	return pairEngines(n.Clock(), n.Fabric().Net, n.Fabric(), n.Paths,
-		func() traffic.Scheduler { return &traffic.WeightedBottleneck{} }, pairs)
+	return pairEngines(n.Clock(), n.Fabric().Net, n.Fabric(), n.Paths, sched, pairs)
 }
 
 // bgpCapacity converges BGP on the same topology and measures every pair

@@ -12,6 +12,7 @@ package pathdb
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"scionmpr/internal/addr"
 	"scionmpr/internal/seg"
@@ -91,6 +92,12 @@ type Server struct {
 	// waiting for the next beaconing interval to re-register them.
 	revoked map[seg.LinkKey]sim.Time
 
+	// lastRevoked remembers when each link last had a revocation
+	// recorded. Unlike revoked it never lapses: it is the
+	// revocation-recency signal path-selection policies use to penalize
+	// recently flapping paths (RevocationRecency).
+	lastRevoked map[seg.LinkKey]sim.Time
+
 	cache *Cache
 
 	// Stats for the Table 1 experiment.
@@ -106,13 +113,14 @@ type Server struct {
 // NewServer creates a path server for an AS.
 func NewServer(local addr.IA, isCore bool, cacheTTL sim.Time) *Server {
 	return &Server{
-		Local:   local,
-		Core:    isCore,
-		down:    map[addr.IA][]*seg.PCB{},
-		core:    map[addr.IA][]*seg.PCB{},
-		up:      nil,
-		revoked: map[seg.LinkKey]sim.Time{},
-		cache:   NewCache(cacheTTL),
+		Local:       local,
+		Core:        isCore,
+		down:        map[addr.IA][]*seg.PCB{},
+		core:        map[addr.IA][]*seg.PCB{},
+		up:          nil,
+		revoked:     map[seg.LinkKey]sim.Time{},
+		lastRevoked: map[seg.LinkKey]sim.Time{},
+		cache:       NewCache(cacheTTL),
 	}
 }
 
@@ -345,6 +353,32 @@ func (s *Server) RevokedActive(now sim.Time, link seg.LinkKey) bool {
 	return ok && now < exp
 }
 
+// LastRevocation returns when the server most recently recorded a
+// revocation for the link (via RevokeFor), and whether it ever has. The
+// record is permanent — it reports history, not whether the revocation
+// is still active (use RevokedActive for that).
+func (s *Server) LastRevocation(link seg.LinkKey) (sim.Time, bool) {
+	t, ok := s.lastRevoked[link]
+	return t, ok
+}
+
+// RevocationRecency returns the time since the most recent revocation
+// the server ever recorded on any of the links — the per-path
+// revocation-recency signal for path-selection policies. Negative means
+// no revocation was ever recorded on any of them.
+func (s *Server) RevocationRecency(now sim.Time, links []seg.LinkKey) time.Duration {
+	latest := sim.Time(-1)
+	for _, lk := range links {
+		if t, ok := s.lastRevoked[lk]; ok && t > latest {
+			latest = t
+		}
+	}
+	if latest < 0 {
+		return -1
+	}
+	return time.Duration(now - latest)
+}
+
 // RevokeFor places link under a timed revocation: segments over it are
 // hidden from lookups until the revocation expires at now+ttl, then
 // reinstated automatically (paper §4.1: revocations are soft state that
@@ -352,6 +386,7 @@ func (s *Server) RevokedActive(now sim.Time, link seg.LinkKey) bool {
 // of currently stored segments the revocation hides. A ttl <= 0 falls
 // back to the permanent Revoke.
 func (s *Server) RevokeFor(now sim.Time, link seg.LinkKey, ttl sim.Time) int {
+	s.lastRevoked[link] = now
 	if ttl <= 0 {
 		return s.Revoke(link)
 	}

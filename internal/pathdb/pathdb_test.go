@@ -378,3 +378,40 @@ func TestExpectedHitRate(t *testing.T) {
 		t.Errorf("hit rate monotonicity broken: %v vs %v", small, big)
 	}
 }
+
+// TestRevocationRecency pins the path-selection recency signal: the
+// record is permanent history, independent of whether the revocation is
+// still active, and the most recent revocation across the links wins.
+func TestRevocationRecency(t *testing.T) {
+	s := NewServer(core1, true, hour)
+	linkA := seg.LinkKey{IA: addr.MustIA(1, 20), If: 2}
+	linkB := seg.LinkKey{IA: addr.MustIA(1, 40), If: 2}
+
+	if _, ok := s.LastRevocation(linkA); ok {
+		t.Error("LastRevocation reported a record before any revocation")
+	}
+	if got := s.RevocationRecency(10, []seg.LinkKey{linkA, linkB}); got >= 0 {
+		t.Errorf("recency with no history = %v, want negative", got)
+	}
+
+	s.RevokeFor(5, linkA, sim.Time(time.Second))
+	s.RevokeFor(8, linkB, sim.Time(time.Second))
+	if at, ok := s.LastRevocation(linkA); !ok || at != 5 {
+		t.Errorf("LastRevocation(linkA) = %v, %v, want 5, true", at, ok)
+	}
+	// The newest revocation across the path's links dominates.
+	if got := s.RevocationRecency(10, []seg.LinkKey{linkA, linkB}); got != 2 {
+		t.Errorf("recency = %v, want 2", got)
+	}
+	// History outlives the revocation TTL.
+	later := sim.Time(time.Minute)
+	if s.RevokedActive(later, linkB) {
+		t.Error("revocation still active past its TTL")
+	}
+	if got := s.RevocationRecency(later, []seg.LinkKey{linkB}); got != time.Duration(later-8) {
+		t.Errorf("recency after lapse = %v, want %v", got, time.Duration(later-8))
+	}
+	if got := s.RevocationRecency(later, nil); got >= 0 {
+		t.Errorf("recency over no links = %v, want negative", got)
+	}
+}

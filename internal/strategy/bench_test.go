@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// benchPaths builds a representative 8-path candidate set with mixed
+// telemetry, matching the traffic engine's default MaxPaths.
+func benchPaths() []PathView {
+	rng := rand.New(rand.NewSource(3))
+	paths := make([]PathView, 8)
+	for i := range paths {
+		hops := 2 + rng.Intn(5)
+		paths[i] = PathView{
+			Hops:       hops,
+			Delay:      time.Duration(5+rng.Intn(30)) * time.Millisecond,
+			Bottleneck: 1e7 + rng.Float64()*1e8,
+			Sent:       int64(rng.Intn(1 << 24)),
+			Busy:       i%3 == 0,
+			Loss:       rng.Float64() * 0.1,
+			Links:      hops,
+			Shared:     rng.Intn(hops),
+			RevokedAge: -1,
+		}
+		paths[i].RTT = 2 * paths[i].Delay
+		if i%4 == 1 {
+			paths[i].RevokedAge = time.Duration(rng.Int63n(int64(15 * time.Second)))
+		}
+	}
+	return paths
+}
+
+// BenchmarkPolicyPick measures the per-decision scoring cost of every
+// policy on the hot path (recorded in BENCH_pr10.json, allocs gated at 0
+// via scripts/bench_compare.sh and TestPolicyPickAllocs).
+func BenchmarkPolicyPick(b *testing.B) {
+	paths := benchPaths()
+	for _, name := range Names() {
+		factory, err := New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			p := factory()
+			p.Pick(paths) // warm any internal scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Pick(paths)
+			}
+		})
+	}
+}
+
+// TestPolicyPickAllocs pins the steady-state Pick hot path of every
+// policy at zero allocations. bench_compare.sh cannot flag a 0 -> N
+// allocation regression (its relative-change math treats a zero baseline
+// as 0%), so the gate lives here as a hard test.
+func TestPolicyPickAllocs(t *testing.T) {
+	paths := benchPaths()
+	for _, name := range Names() {
+		factory, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := factory()
+		p.Pick(paths) // first call may grow scratch slices
+		if allocs := testing.AllocsPerRun(100, func() { p.Pick(paths) }); allocs != 0 {
+			t.Errorf("%s: Pick allocates %v/op on the steady-state hot path, want 0", name, allocs)
+		}
+	}
+}
+
+// TestBenchPathsStable pins the benchmark input so BENCH_pr10.json
+// comparisons measure the scorers, not drift in the workload.
+func TestBenchPathsStable(t *testing.T) {
+	got := fmt.Sprintf("%+v", benchPaths())
+	again := fmt.Sprintf("%+v", benchPaths())
+	if got != again {
+		t.Fatal("benchPaths is not deterministic")
+	}
+}

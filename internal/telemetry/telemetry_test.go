@@ -308,3 +308,76 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("merged quantile = %v, want in (2,4]", q)
 	}
 }
+
+// TestHistogramQuantileBoundaryRanks pins Quantile at exact bucket-
+// boundary ranks, where an off-by-one in the cumulative comparison
+// (cum+c >= rank vs >) would jump to the wrong bucket. The convention:
+// with rank = q*count, a rank landing exactly on a bucket's cumulative
+// count interpolates to that bucket's UPPER bound — never into the next
+// bucket — and q=0 rests on the first occupied bucket's lower bound.
+func TestHistogramQuantileBoundaryRanks(t *testing.T) {
+	r := NewRegistry()
+	// Two buckets with equal mass: (1,2] and (2,4], 2 samples each.
+	h := r.Histogram("q_boundary", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(3)
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},      // rank 0: lower bound of the first occupied bucket
+		{0.25, 1.5}, // rank 1: halfway up the first bucket's 2 samples
+		{0.5, 2},    // rank 2 == bucket-0 cum count: exactly the shared bound
+		{0.75, 3},   // rank 3: halfway up the second bucket
+		{1, 4},      // rank 4: the last occupied bucket's upper bound
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// A leading empty bucket must be skipped, not interpolated into:
+	// all mass in (10,100], nothing in (0,10].
+	skip := r.Histogram("q_skip", []float64{10, 100})
+	skip.Observe(50)
+	if got := skip.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) with empty first bucket = %v, want 10", got)
+	}
+	if got := skip.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", got)
+	}
+
+	// An interior empty bucket is likewise transparent: mass in (1,2]
+	// and (4,8] only. Ranks at the gap resolve to bucket bounds, not to
+	// points inside the empty (2,4] bucket.
+	gap := r.Histogram("q_gap", []float64{1, 2, 4, 8})
+	gap.Observe(1.5)
+	gap.Observe(6)
+	if got := gap.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) at gap = %v, want 2 (first bucket's bound)", got)
+	}
+	if got := gap.Quantile(0.75); got != 6 {
+		t.Errorf("Quantile(0.75) = %v, want 6 (midpoint of (4,8])", got)
+	}
+
+	// A single sample: every q > 0 interpolates within its bucket,
+	// q=1 hits the bucket's upper bound exactly.
+	one := r.Histogram("q_one", []float64{1, 2})
+	one.Observe(1.5)
+	if got := one.Quantile(1); got != 2 {
+		t.Errorf("single-sample Quantile(1) = %v, want 2", got)
+	}
+	if got := one.Quantile(0.5); got != 1.5 {
+		t.Errorf("single-sample Quantile(0.5) = %v, want 1.5", got)
+	}
+
+	// q outside [0,1] clamps to the ends.
+	if got, want := one.Quantile(2), one.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %v, want clamp to Quantile(1) = %v", got, want)
+	}
+	if got, want := one.Quantile(-0.5), one.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %v, want clamp to Quantile(0) = %v", got, want)
+	}
+}

@@ -1,187 +1,38 @@
 package traffic
 
-import (
-	"fmt"
-	"time"
-)
+import "scionmpr/internal/strategy"
+
+// The scheduler layer is now the path-selection policy laboratory in
+// internal/strategy; these aliases keep the traffic engine's historical
+// API (PathInfo/Scheduler/NewScheduler and the four original scheduler
+// types) stable while the implementations live behind the Policy
+// interface. See package strategy for the policy catalog and the text
+// configuration format.
 
 // PathInfo is the scheduler-visible state of one candidate path of a
 // flow. The engine rebuilds it before every decision.
-type PathInfo struct {
-	// Hops is the AS-level path length.
-	Hops int
-	// Delay is the one-way propagation delay.
-	Delay time.Duration
-	// Bottleneck is the smallest link capacity along the path (bytes/s).
-	Bottleneck float64
-	// Sent is how many bytes the flow has sent on this path so far.
-	Sent int64
-	// Busy reports that the path is still serializing a previous chunk.
-	Busy bool
-	// Revoked paths must never be picked.
-	Revoked bool
-}
-
-func (p PathInfo) usable() bool { return !p.Revoked }
-func (p PathInfo) idle() bool   { return !p.Revoked && !p.Busy }
+type PathInfo = strategy.PathView
 
 // Scheduler decides, chunk by chunk, which of a flow's candidate paths
-// carries the next chunk — the multipath scheduling strategies surveyed in
-// the axiomatic path-selection literature. Pick returns an index into
-// paths, or -1 to wait until a busy path becomes idle. Implementations
-// must be deterministic and must never pick a revoked path.
-type Scheduler interface {
-	Name() string
-	Pick(paths []PathInfo) int
-}
+// carries the next chunk. Pick returns an index into paths, or -1 to wait
+// until a busy path becomes idle. Implementations must be deterministic
+// and must never pick a revoked path.
+type Scheduler = strategy.Policy
 
-// NewScheduler resolves a strategy name to a per-flow scheduler factory.
-// Known names: single-best, round-robin, weighted, latency.
+// The original four schedulers, now policies in internal/strategy.
+type (
+	SingleBest         = strategy.SingleBest
+	RoundRobin         = strategy.RoundRobin
+	WeightedBottleneck = strategy.WeightedBottleneck
+	LatencyAware       = strategy.LatencyAware
+)
+
+// NewScheduler resolves a strategy spec to a per-flow scheduler factory.
+// Known names: single-best, round-robin, weighted, latency, disjoint,
+// hybrid; see strategy.Parse for the parameter syntax.
 func NewScheduler(name string) (func() Scheduler, error) {
-	switch name {
-	case "single-best":
-		return func() Scheduler { return &SingleBest{} }, nil
-	case "round-robin":
-		return func() Scheduler { return &RoundRobin{} }, nil
-	case "weighted":
-		return func() Scheduler { return &WeightedBottleneck{} }, nil
-	case "latency":
-		return func() Scheduler { return &LatencyAware{} }, nil
-	}
-	return nil, fmt.Errorf("traffic: unknown scheduler %q", name)
+	return strategy.Parse(name)
 }
 
-// SingleBest always uses the single lowest-hop-count usable path — the
-// strategy of a classic single-path transport that only switches paths on
-// revocation. It waits rather than spill to alternatives.
-type SingleBest struct{}
-
-// Name implements Scheduler.
-func (*SingleBest) Name() string { return "single-best" }
-
-// Pick implements Scheduler.
-func (*SingleBest) Pick(paths []PathInfo) int {
-	best := -1
-	for i, p := range paths {
-		if !p.usable() {
-			continue
-		}
-		if best < 0 || p.Hops < paths[best].Hops {
-			best = i
-		}
-	}
-	if best < 0 || paths[best].Busy {
-		return -1
-	}
-	return best
-}
-
-// RoundRobin rotates chunks across all idle usable paths, the simplest
-// capacity-aggregating multipath scheduler.
-type RoundRobin struct {
-	last int
-}
-
-// Name implements Scheduler.
-func (*RoundRobin) Name() string { return "round-robin" }
-
-// Pick implements Scheduler.
-func (s *RoundRobin) Pick(paths []PathInfo) int {
-	n := len(paths)
-	for off := 1; off <= n; off++ {
-		i := (s.last + off) % n
-		if paths[i].idle() {
-			s.last = i
-			return i
-		}
-	}
-	return -1
-}
-
-// WeightedBottleneck is smooth weighted round-robin with each path
-// weighted by its bottleneck capacity: paths carry chunks in proportion to
-// the capacity they can contribute, which maximizes aggregate goodput over
-// heterogeneous path sets.
-type WeightedBottleneck struct {
-	credit []float64
-}
-
-// Name implements Scheduler.
-func (*WeightedBottleneck) Name() string { return "weighted" }
-
-// Pick implements Scheduler.
-func (s *WeightedBottleneck) Pick(paths []PathInfo) int {
-	anyIdle := false
-	for _, p := range paths {
-		if p.idle() {
-			anyIdle = true
-			break
-		}
-	}
-	if !anyIdle {
-		return -1
-	}
-	for len(s.credit) < len(paths) {
-		s.credit = append(s.credit, 0)
-	}
-	total := 0.0
-	for i, p := range paths {
-		if !p.usable() {
-			s.credit[i] = 0
-			continue
-		}
-		s.credit[i] += p.Bottleneck
-		total += p.Bottleneck
-	}
-	best := -1
-	for i, p := range paths {
-		if !p.idle() {
-			continue
-		}
-		if best < 0 || s.credit[i] > s.credit[best] {
-			best = i
-		}
-	}
-	s.credit[best] -= total
-	return best
-}
-
-// LatencyAware prefers the lowest-latency usable path and spills to other
-// paths only while their propagation delay stays within Stretch of the
-// best — the latency-sensitive strategy of interactive applications.
-type LatencyAware struct {
-	// Stretch bounds how much slower than the best path an alternative
-	// may be (default 1.5).
-	Stretch float64
-}
-
-// Name implements Scheduler.
-func (*LatencyAware) Name() string { return "latency" }
-
-// Pick implements Scheduler.
-func (s *LatencyAware) Pick(paths []PathInfo) int {
-	stretch := s.Stretch
-	if stretch <= 1 {
-		stretch = 1.5
-	}
-	minDelay := time.Duration(-1)
-	for _, p := range paths {
-		if p.usable() && (minDelay < 0 || p.Delay < minDelay) {
-			minDelay = p.Delay
-		}
-	}
-	if minDelay < 0 {
-		return -1
-	}
-	limit := time.Duration(float64(minDelay) * stretch)
-	best := -1
-	for i, p := range paths {
-		if !p.idle() || p.Delay > limit {
-			continue
-		}
-		if best < 0 || p.Delay < paths[best].Delay {
-			best = i
-		}
-	}
-	return best
-}
+// SchedulerNames lists the registered policy names in canonical order.
+func SchedulerNames() []string { return strategy.Names() }

@@ -71,6 +71,9 @@ type Options struct {
 	// of data-plane time); negative makes revocations permanent (the
 	// pre-chaos behavior).
 	RevocationTTL time.Duration
+	// Workers parallelizes the bootstrap beaconing runs (0 = serial).
+	// Results are byte-identical for any worker count.
+	Workers int
 	// Telemetry, if set, receives counters from the bootstrap beaconing
 	// runs, the path servers, and the data-plane fabric.
 	Telemetry *telemetry.Registry
@@ -180,6 +183,7 @@ func NewNetwork(topo *topology.Graph, opts Options) (*Network, error) {
 		cfg.Lifetime = opts.Lifetime
 		cfg.Infra = infra
 		cfg.Verify = opts.Verify
+		cfg.Workers = opts.Workers
 		cfg.Telemetry = opts.Telemetry
 		cfg.Tracer = opts.Tracer
 		return beacon.Run(cfg)
@@ -490,15 +494,27 @@ func (n *Network) FailLink(a, b addr.IA, i int) (*topology.Link, error) {
 	}
 	l := links[i]
 	n.fabric.FailLink(l.ID)
+	n.NoteLinkDown(l)
+	return l, nil
+}
+
+// NoteLinkDown propagates a data-plane link failure through the control
+// plane without touching the fabric: both directions of the link are
+// revoked at every path server (timed when RevocationTTL > 0, permanent
+// otherwise) and the endpoint path cache is flushed. FailLink uses it
+// after failing the fabric link; chaos hooks use it directly when the
+// fault injector already owns the fabric side.
+func (n *Network) NoteLinkDown(l *topology.Link) {
 	now := n.now()
 	ttl := sim.Time(n.Opts.RevocationTTL)
+	// Topology order, not map order: revocations emit trace events, and
+	// the event stream must be deterministic.
 	for _, key := range []seg.LinkKey{{IA: l.A, If: l.AIf}, {IA: l.B, If: l.BIf}} {
-		for _, ps := range n.pathServers {
-			if ttl > 0 {
-				ps.RevokeFor(now, key, ttl)
-			} else {
-				ps.Revoke(key)
-			}
+		for _, ia := range n.Topo.IAs() {
+			// RevokeFor records the revocation instant (the policies'
+			// recency feed) and falls back to a permanent Revoke when the
+			// TTL is non-positive.
+			n.pathServers[ia].RevokeFor(now, key, ttl)
 		}
 	}
 	if ttl > 0 {
@@ -510,7 +526,30 @@ func (n *Network) FailLink(a, b addr.IA, i int) (*topology.Link, error) {
 		n.intraRun.RevokeLink(l)
 	}
 	n.pathCache = map[[2]uint64][]*dataplane.FwdPath{}
-	return l, nil
+}
+
+// PathRevocationAge reports how long ago the control plane last recorded
+// a revocation on any of the given links, as seen from ia's path server
+// (negative = never) — the pathdb-backed revocation-recency feed for the
+// traffic engine's path-selection policies (traffic.Config.RevocationAge).
+func (n *Network) PathRevocationAge(ia addr.IA, links []dataplane.LinkRef) time.Duration {
+	ps := n.pathServers[ia]
+	if ps == nil {
+		return -1
+	}
+	now := n.now()
+	age := time.Duration(-1)
+	for _, ref := range links {
+		l := ref.Link
+		for _, key := range []seg.LinkKey{{IA: l.A, If: l.AIf}, {IA: l.B, If: l.BIf}} {
+			if t, ok := ps.LastRevocation(key); ok {
+				if a := time.Duration(now - t); age < 0 || a < age {
+					age = a
+				}
+			}
+		}
+	}
+	return age
 }
 
 // RestoreLink repairs the i-th link between a and b on the data plane.

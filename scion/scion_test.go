@@ -280,3 +280,109 @@ func TestExportedHelpers(t *testing.T) {
 		t.Error("HostIP4 broken")
 	}
 }
+
+// TestPathRevocationAge pins the pathdb-backed revocation-recency feed
+// consumed by the traffic engine's path-selection policies.
+func TestPathRevocationAge(t *testing.T) {
+	n := demoNet(t)
+	paths, err := n.Paths(b3, a6)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("paths: %v (%d)", err, len(paths))
+	}
+	refs, err := paths[0].LinkRefs(n.Topo)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("link refs: %v (%d)", err, len(refs))
+	}
+	// No revocation has ever been recorded.
+	if age := n.PathRevocationAge(b3, refs); age >= 0 {
+		t.Errorf("age before any failure = %v, want negative", age)
+	}
+	// Fail the path's first link: both the local and every remote path
+	// server record the revocation instant.
+	l := refs[0].Link
+	if _, err := n.FailLink(l.A, l.B, 0); err != nil {
+		t.Fatal(err)
+	}
+	if age := n.PathRevocationAge(b3, refs); age != 0 {
+		t.Errorf("age right after failure = %v, want 0", age)
+	}
+	// Unknown IA and empty link set are both "never".
+	if age := n.PathRevocationAge(addr.MustIA(9, 9), refs); age >= 0 {
+		t.Errorf("age for unknown IA = %v, want negative", age)
+	}
+	if age := n.PathRevocationAge(b3, nil); age >= 0 {
+		t.Errorf("age for no links = %v, want negative", age)
+	}
+}
+
+// TestNoteLinkDownPermanent covers the RevocationTTL < 0 branch:
+// revocations are permanent and empty the beacon stores.
+func TestNoteLinkDownPermanent(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RevocationTTL = -1
+	n, err := NewNetwork(topology.Demo(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := n.Paths(b3, a6)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("paths: %v (%d)", err, len(paths))
+	}
+	refs, err := paths[0].LinkRefs(n.Topo)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("link refs: %v (%d)", err, len(refs))
+	}
+	n.NoteLinkDown(refs[0].Link)
+	after, err := n.Paths(b3, a6)
+	if err == nil {
+		for _, p := range after {
+			rs, err := p.LinkRefs(n.Topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				if r.Link == refs[0].Link {
+					t.Fatal("permanently revoked link still served")
+				}
+			}
+		}
+	}
+	if age := n.PathRevocationAge(b3, refs[:1]); age != 0 {
+		t.Errorf("age after permanent revocation = %v, want 0", age)
+	}
+}
+
+// TestRestoreLink covers the data-plane repair path: a failed link heals
+// and, once the revocation TTL lapses, lookups serve it again.
+func TestRestoreLink(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RevocationTTL = 1 * time.Second
+	n, err := NewNetwork(topology.Demo(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := n.Paths(b3, a6)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("paths: %v (%d)", err, len(paths))
+	}
+	refs, err := paths[0].LinkRefs(n.Topo)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("link refs: %v (%d)", err, len(refs))
+	}
+	l := refs[0].Link
+	if _, err := n.FailLink(l.A, l.B, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RestoreLink(l.A, l.B, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RestoreLink(l.A, l.B, 99); err == nil {
+		t.Error("restoring a nonexistent link must fail")
+	}
+	// Let the revocation lapse; the healed link serves again.
+	n.Clock().RunUntil(n.Clock().Now() + 2e9)
+	healed, err := n.Paths(b3, a6)
+	if err != nil || len(healed) == 0 {
+		t.Fatalf("paths after heal: %v (%d)", err, len(healed))
+	}
+}

@@ -19,7 +19,7 @@ scionmpr/internal/addr 92
 scionmpr/internal/beacon 90
 scionmpr/internal/bgp 87
 scionmpr/internal/bgpsec 88
-scionmpr/internal/chaos 58
+scionmpr/internal/chaos 59
 scionmpr/internal/combinator 89
 scionmpr/internal/core 63
 scionmpr/internal/dataplane 80
@@ -33,6 +33,7 @@ scionmpr/internal/seg 77
 scionmpr/internal/sig 93
 scionmpr/internal/slayers 88
 scionmpr/internal/sim 77
+scionmpr/internal/strategy 96
 scionmpr/internal/telemetry 88
 scionmpr/internal/topology 93
 scionmpr/internal/traffic 88
